@@ -1,0 +1,138 @@
+"""Ablations on design choices called out in DESIGN.md.
+
+Not a paper figure -- these isolate two choices the paper discusses in
+prose:
+
+1. **Incidence strategy** (Section 7.4 / Theorem 5.1 footnote): storing
+   the s-clique incidence (space ~ n_s) vs re-enumerating s-cliques on
+   demand (space ~ n_r). Reports time and memory for both.
+2. **Round cap in Algorithm 2** (lines 17-19): the per-bucket round budget
+   trades peeling rounds (span) against promotion-induced over-estimates.
+   Sweeps the cap and reports rounds + error.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.errors import summarize_errors
+from repro.analysis.reporting import banner, format_table
+from repro.core.approx import peel_approx
+from repro.core.nucleus import peel_exact, prepare
+
+from bench_common import bench_graph, kernel_graph, timed
+
+RS = ((2, 3), (2, 4), (3, 4))
+
+
+def run_strategy_ablation(graph=None, rs_values=RS):
+    graph = graph if graph is not None else bench_graph("dblp")
+    rows = []
+    for r, s in rs_values:
+        mat_prep = timed(lambda: prepare(graph, r, s,
+                                         strategy="materialized"))
+        mat_peel = timed(lambda: peel_exact(mat_prep.payload.incidence))
+        ree_prep = timed(lambda: prepare(graph, r, s, strategy="reenum"))
+        ree_peel = timed(lambda: peel_exact(ree_prep.payload.incidence))
+        assert mat_peel.payload.core == ree_peel.payload.core
+        rows.append((f"({r},{s})",
+                     mat_prep.seconds + mat_peel.seconds,
+                     ree_prep.seconds + ree_peel.seconds,
+                     mat_prep.payload.incidence.memory_units(),
+                     ree_prep.payload.incidence.memory_units()))
+    return rows
+
+
+def run_round_cap_ablation(graph=None, r: int = 2, s: int = 3,
+                           caps=(1, 2, 4, 16, None)):
+    graph = graph if graph is not None else bench_graph("dblp")
+    prepared = prepare(graph, r, s)
+    exact = peel_exact(prepared.incidence)
+    rows = []
+    for cap in caps:
+        approx = peel_approx(prepared.incidence, 0.5, round_cap=cap)
+        summary = summarize_errors(exact.core, approx.core)
+        rows.append(("default" if cap is None else cap,
+                     approx.rho,
+                     int(approx.stats["bucket_promotions"]),
+                     f"{summary.median_error:.2f}x",
+                     f"{summary.max_error:.2f}x"))
+    return rows
+
+
+def build_report() -> str:
+    strategy = format_table(
+        ("(r,s)", "materialized s", "reenum s", "materialized ints",
+         "reenum ints"),
+        run_strategy_ablation(),
+        title="Ablation A: materialized vs re-enumerated s-clique incidence "
+              "(dblp)")
+    cap = format_table(
+        ("round cap", "peel rounds", "promotions", "median err", "max err"),
+        run_round_cap_ablation(),
+        title="Ablation B: Algorithm 2 per-bucket round cap (dblp, (2,3), "
+              "delta=0.5)")
+    buckets = format_table(
+        ("(r,s)", "julienne s", "heap s", "julienne ints (~max degree)",
+         "heap ints (3 n_r)"),
+        run_bucketing_ablation(),
+        title="Ablation C: Julienne buckets vs addressable heap "
+              "(Section 6, footnote 2)")
+    return (banner("Ablations") + "\n" + strategy + "\n\n" + cap
+            + "\n\n" + buckets)
+
+
+def test_ablation_strategy_tradeoff():
+    rows = run_strategy_ablation(kernel_graph("dblp"), rs_values=((2, 3),))
+    print(rows)
+    for label, t_mat, t_ree, mem_mat, mem_ree in rows:
+        assert mem_mat > mem_ree  # the space tradeoff is real
+
+
+def test_ablation_round_cap_monotone():
+    rows = run_round_cap_ablation(kernel_graph("dblp"))
+    print(rows)
+    rounds = [r for _, r, *_ in rows]
+    promos = [p for _, _, p, *_ in rows]
+    # a stingier cap can only lower rounds and raise promotions
+    assert rounds[0] <= rounds[-1] + 1
+    assert promos[0] >= promos[-1]
+
+
+def test_benchmark_reenum_kernel(benchmark):
+    graph = kernel_graph("dblp")
+    prepared = prepare(graph, 2, 3, strategy="reenum")
+    benchmark(lambda: peel_exact(prepared.incidence))
+
+
+
+
+def run_bucketing_ablation(graph=None, rs_values=((2, 3), (1, 2))):
+    """Julienne array buckets vs the footnote-2 addressable heap."""
+    from repro.ds.bucketing import BucketQueue
+    from repro.ds.heap_bucketing import HeapBucketQueue
+    graph = graph if graph is not None else bench_graph("dblp")
+    rows = []
+    for r, s in rs_values:
+        prepared = prepare(graph, r, s)
+        degrees = prepared.incidence.initial_degrees()
+        julienne = timed(lambda: peel_exact(prepared.incidence,
+                                            bucketing="julienne"))
+        heap = timed(lambda: peel_exact(prepared.incidence,
+                                        bucketing="heap"))
+        assert julienne.payload.core == heap.payload.core
+        julienne_mem = len(degrees) + max(degrees, default=0) + 1
+        rows.append((f"({r},{s})", julienne.seconds, heap.seconds,
+                     julienne_mem,
+                     HeapBucketQueue(degrees).memory_units()))
+    return rows
+
+
+def test_ablation_bucketing_equivalence():
+    rows = run_bucketing_ablation(kernel_graph("dblp"))
+    print(rows)
+    assert rows  # cores already asserted equal inside the runner
+
+
+if __name__ == "__main__":
+    print(build_report())

@@ -1,0 +1,108 @@
+"""Shared machinery for the benchmark harnesses.
+
+Every benchmark module in this directory reproduces one table or figure of
+the paper (see DESIGN.md's per-experiment index). They share:
+
+* a **scale knob** -- ``REPRO_BENCH_SCALE`` (default 1.0) multiplies every
+  stand-in graph's vertex count, so the whole suite can be dialed up or
+  down without editing code;
+* a **budget guard** -- the paper terminates experiments after 4 hours;
+  we terminate *predictively*: a cheap upper bound on the s-clique count
+  decides whether a configuration would exceed ``REPRO_BENCH_BUDGET``
+  units, and skipped configurations are reported like the paper's omitted
+  bars ("OOM/timeout");
+* ``timed(...)`` / ``run_config(...)`` helpers producing uniform rows.
+
+Each module doubles as a script (``python benchmarks/bench_figX....py``)
+and a pytest-benchmark target (kernels named ``test_benchmark_*``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from math import comb
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cliques.incidence import build_incidence
+from repro.core.nucleus import NucleusInput, prepare
+from repro.graphs.datasets import load_dataset
+from repro.graphs.graph import Graph
+from repro.graphs.orientation import arb_orient
+
+#: Scale factor for all benchmark graphs.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Work-budget cap (estimated clique-extension steps) per configuration.
+BENCH_BUDGET = int(float(os.environ.get("REPRO_BENCH_BUDGET", "3e6")))
+
+#: Tiny scale used by the pytest-benchmark micro-kernels so the
+#: ``--benchmark-only`` run finishes fast while still timing real code.
+KERNEL_SCALE = float(os.environ.get("REPRO_BENCH_KERNEL_SCALE", "0.15"))
+
+SKIPPED = float("inf")  # sentinel timing for budget-skipped configurations
+
+
+def bench_graph(name: str, scale: Optional[float] = None) -> Graph:
+    """Load a stand-in dataset at benchmark scale."""
+    return load_dataset(name, scale=BENCH_SCALE if scale is None else scale)
+
+
+def kernel_graph(name: str) -> Graph:
+    """Load a stand-in dataset at micro-kernel scale."""
+    return load_dataset(name, scale=KERNEL_SCALE)
+
+
+def estimated_cost(graph: Graph, r: int, s: int) -> int:
+    """Upper bound on s-clique extension steps (the budget-guard metric)."""
+    orientation = arb_orient(graph)
+    return sum(comb(orientation.out_degree(v), max(s - 1, 0)) * comb(s, r)
+               for v in range(graph.n))
+
+
+def within_budget(graph: Graph, r: int, s: int,
+                  budget: int = BENCH_BUDGET) -> bool:
+    return estimated_cost(graph, r, s) <= budget
+
+
+@dataclass
+class TimedRun:
+    """One timed configuration: seconds (or SKIPPED) + payload."""
+
+    seconds: float
+    payload: object = None
+
+    @property
+    def skipped(self) -> bool:
+        return self.seconds == SKIPPED
+
+
+def timed(fn: Callable[[], object]) -> TimedRun:
+    """Run ``fn`` once and wall-clock it."""
+    start = time.perf_counter()
+    payload = fn()
+    return TimedRun(time.perf_counter() - start, payload)
+
+
+def guarded(graph: Graph, r: int, s: int,
+            fn: Callable[[], object],
+            budget: int = BENCH_BUDGET) -> TimedRun:
+    """Run ``fn`` unless the configuration blows the work budget."""
+    if not within_budget(graph, r, s, budget):
+        return TimedRun(SKIPPED)
+    return timed(fn)
+
+
+def rs_grid(max_s: int) -> List[Tuple[int, int]]:
+    """All (r, s) with ``r < s <= max_s`` in the paper's ordering."""
+    return [(r, s) for s in range(2, max_s + 1) for r in range(1, s)]
+
+
+def prepare_cached(cache: Dict, graph: Graph, r: int, s: int,
+                   strategy: str = "materialized") -> NucleusInput:
+    """Memoize the (orientation + index + incidence) preamble per config."""
+    key = (id(graph), r, s, strategy)
+    if key not in cache:
+        cache[key] = prepare(graph, r, s, strategy=strategy)
+    return cache[key]

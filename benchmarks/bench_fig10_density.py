@@ -1,0 +1,154 @@
+"""Figure 10: usefulness of the hierarchy on the youtube stand-in.
+
+Left panel: number of vertices vs edge density for the (2, s)-nuclei
+discovered by the hierarchy, for s in {3, 4, 5}.
+
+Right panel: time to produce *all* c-(2, s) nuclei for every c, with the
+hierarchy (cut the tree once per level) vs without (run connectivity over
+the level graph once per level). The paper reports 5.84-834x advantages;
+the shape -- hierarchy cutting wins by orders of magnitude and the gap
+grows with s -- is the claim this harness checks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from repro import nucleus_decomposition
+from repro.analysis.density import density_profile
+from repro.analysis.reporting import banner, format_table
+from repro.baselines.naive_hierarchy import nuclei_without_hierarchy
+from repro.core.nucleus import peel_exact, prepare
+
+from bench_common import bench_graph, kernel_graph, timed, within_budget
+
+S_VALUES = (3, 4, 5)
+
+
+def run_density(graph=None, s_values=S_VALUES):
+    """Left panel data: (s, level, n_vertices, density) rows."""
+    graph = graph if graph is not None else bench_graph("youtube")
+    rows = []
+    for s in s_values:
+        if not within_budget(graph, 2, s):
+            continue
+        decomp = nucleus_decomposition(graph, 2, s)
+        for profile in decomp.density_profile(min_vertices=3):
+            rows.append((s, profile.level, profile.n_vertices,
+                         profile.density))
+    return rows
+
+
+def run_cut_vs_connectivity(graph=None, s_values=S_VALUES):
+    """Right panel data: (s, levels, with_hierarchy_s, without_s, speedup)."""
+    graph = graph if graph is not None else bench_graph("youtube")
+    rows = []
+    for s in s_values:
+        if not within_budget(graph, 2, s):
+            continue
+        prepared = prepare(graph, 2, s)
+        coreness = peel_exact(prepared.incidence)
+        decomp = nucleus_decomposition(graph, 2, s)
+        levels = decomp.hierarchy_levels()
+        if not levels:
+            continue
+
+        def with_hierarchy():
+            return [decomp.nuclei_at(c, as_vertices=False) for c in levels]
+
+        def without_hierarchy():
+            return [nuclei_without_hierarchy(prepared.incidence,
+                                             coreness.core, c)
+                    for c in levels]
+
+        cheap = timed(with_hierarchy)
+        costly = timed(without_hierarchy)
+        # same nuclei either way (consistency, not just speed)
+        for a, b in zip(cheap.payload, costly.payload):
+            assert sorted(map(tuple, a)) == sorted(map(tuple, b))
+        rows.append((s, len(levels), cheap.seconds, costly.seconds,
+                     costly.seconds / max(cheap.seconds, 1e-9)))
+    return rows
+
+
+def build_report() -> str:
+    from statistics import mean, median
+    graph = bench_graph("youtube")
+    density_rows = run_density(graph)
+    grouped = {}
+    for s, level, n_vertices, density in density_rows:
+        grouped.setdefault((s, level), []).append((n_vertices, density))
+    agg_rows = []
+    for (s, level) in sorted(grouped, key=lambda key: (key[0], -key[1])):
+        entries = grouped[(s, level)]
+        sizes = [n for n, _ in entries]
+        densities = [d for _, d in entries]
+        agg_rows.append((s, level, len(entries), min(sizes),
+                         int(median(sizes)), max(sizes), mean(densities)))
+    left = format_table(
+        ("s", "level", "nuclei", "min |V|", "median |V|", "max |V|",
+         "mean density"),
+        agg_rows,
+        title="Figure 10 (left): (2,s)-nuclei size vs edge density, youtube "
+              f"({len(density_rows)} nuclei total)")
+    more = ""
+    cut_rows = run_cut_vs_connectivity(graph)
+    right = format_table(
+        ("s", "levels", "with hierarchy", "without hierarchy", "speedup"),
+        cut_rows,
+        title="Figure 10 (right): finding all (2,s)-nuclei, hierarchy cut "
+              "vs per-level connectivity")
+    return banner("Figure 10") + "\n" + left + more + "\n\n" + right
+
+
+def test_fig10_density_shape():
+    graph = bench_graph("youtube")
+    rows = run_density(graph, s_values=(3,))
+    assert rows, "no nuclei found"
+    print(f"{len(rows)} nuclei profiled")
+    # density is valid and the deepest levels reach high density
+    for s, level, n_vertices, density in rows:
+        assert 0 <= density <= 1
+        assert n_vertices >= 3
+    # The paper's shape: deep nuclei are small and dense; the big shallow
+    # shells are loose. Compare the deepest nucleus against the *largest*
+    # nucleus of the shallowest level (the loose shell).
+    deepest = max(rows, key=lambda row: row[1])
+    min_level = min(row[1] for row in rows)
+    shell = max((row for row in rows if row[1] == min_level),
+                key=lambda row: row[2])
+    assert deepest[3] >= shell[3]
+    assert deepest[2] <= shell[2]
+
+
+def test_fig10_hierarchy_beats_connectivity():
+    graph = bench_graph("youtube")
+    rows = run_cut_vs_connectivity(graph, s_values=(3,))
+    assert rows
+    for s, levels, cheap, costly, speedup in rows:
+        print(f"s={s}: {levels} levels, cut {cheap:.4f}s vs "
+              f"connectivity {costly:.4f}s ({speedup:.1f}x)")
+        assert speedup > 1.0
+
+
+def test_benchmark_hierarchy_cut_kernel(benchmark):
+    graph = kernel_graph("youtube")
+    decomp = nucleus_decomposition(graph, 2, 3)
+    levels = decomp.hierarchy_levels()
+    benchmark(lambda: [decomp.nuclei_at(c, as_vertices=False)
+                       for c in levels])
+
+
+def test_benchmark_no_hierarchy_kernel(benchmark):
+    graph = kernel_graph("youtube")
+    prepared = prepare(graph, 2, 3)
+    coreness = peel_exact(prepared.incidence)
+    levels = sorted({c for c in coreness.core if c > 0}, reverse=True)
+    benchmark(lambda: [nuclei_without_hierarchy(prepared.incidence,
+                                                coreness.core, c)
+                       for c in levels])
+
+
+if __name__ == "__main__":
+    print(build_report())

@@ -1,0 +1,106 @@
+"""Figure 8: self-relative speedup of ANH-TE and ANH-EL vs thread count.
+
+The paper plots speedups on dblp and skitter for several (r, s) values on
+1..30 cores plus 60 hyper-threads ("30h"). Pure Python cannot run the
+threads (GIL; see DESIGN.md Section 2), so this harness measures the
+algorithms' *work* and *span* with the instrumented runtime and maps them
+through Brent's bound -- the same scheduling model the paper's analysis
+uses. T_1 is calibrated to the measured wall-clock.
+
+Expected shape: near-linear speedup at low thread counts, saturation
+toward 30h; larger (r, s) (more work per peel round) scale further, and
+the approximate algorithm (polylog span) scales furthest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.reporting import banner, format_series
+from repro.core.approx import approx_anh_el
+from repro.core.framework import anh_el
+from repro.core.hierarchy_te import hierarchy_te_practical
+from repro.parallel.counters import WorkSpanCounter
+from repro.parallel.runtime import (amdahl_fraction, speedup_curve)
+
+from bench_common import bench_graph, kernel_graph, timed, within_budget
+
+THREADS = (1, 2, 4, 8, 16, 30, 60)
+GRAPHS = ("dblp", "skitter")
+RS = ((2, 3), (3, 4), (1, 2))
+
+
+def run_curves(graph_names=GRAPHS, rs_values=RS):
+    """List of (label, curve, serial_fraction, wall_seconds)."""
+    out = []
+    for name in graph_names:
+        graph = bench_graph(name)
+        for r, s in rs_values:
+            if not within_budget(graph, r, s):
+                continue
+            for algo_name, fn in (("anh-te", hierarchy_te_practical),
+                                  ("anh-el", anh_el)):
+                counter = WorkSpanCounter()
+                run = timed(lambda: fn(graph, r, s, counter=counter))
+                snap = counter.snapshot()
+                out.append((f"{name} ({r},{s}) {algo_name}",
+                            speedup_curve(snap, THREADS),
+                            amdahl_fraction(snap), run.seconds))
+    return out
+
+
+def build_report(curves=None) -> str:
+    if curves is None:
+        curves = run_curves()
+    series = {label: [f"{v:.2f}x" for v in curve]
+              for label, curve, _, _ in curves}
+    xs = [f"{t}t" if t <= 30 else "30h" for t in THREADS]
+    table = format_series("threads", xs, series,
+                          title="Figure 8: simulated self-relative speedups "
+                                "(Brent's bound over measured work/span)")
+    details = "\n".join(
+        f"  {label}: wall {seconds:.3f}s, span/work {fraction:.2e}"
+        for label, _, fraction, seconds in curves)
+    return banner("Figure 8") + "\n" + table + "\n" + details
+
+
+def test_fig8_report():
+    curves = run_curves(graph_names=("dblp",), rs_values=((2, 3), (3, 4)))
+    print(build_report(curves))
+    assert curves
+    for label, curve, fraction, _ in curves:
+        # monotone speedups starting at 1
+        assert abs(curve[0] - 1.0) < 1e-9
+        assert curve == sorted(curve), label
+        # meaningful parallelism: 30 cores give clearly superlinear-over-1
+        assert curve[THREADS.index(30)] > 4, label
+
+    # Larger (r, s) scales at least as well (more work per round).
+    by_rs = {}
+    for label, curve, _, _ in curves:
+        rs = label.split("(")[1].split(")")[0]
+        by_rs.setdefault(rs, []).append(curve[-1])
+    if "2,3" in by_rs and "3,4" in by_rs:
+        assert max(by_rs["3,4"]) >= 0.8 * max(by_rs["2,3"])
+
+
+def test_fig8_approx_scales_further():
+    graph = bench_graph("dblp")
+    exact_counter, approx_counter = WorkSpanCounter(), WorkSpanCounter()
+    anh_el(graph, 2, 3, counter=exact_counter)
+    approx_anh_el(graph, 2, 3, delta=0.5, counter=approx_counter)
+    exact_curve = speedup_curve(exact_counter.snapshot(), THREADS)
+    approx_curve = speedup_curve(approx_counter.snapshot(), THREADS)
+    print(f"exact 30h speedup {exact_curve[-1]:.2f}x, "
+          f"approx 30h speedup {approx_curve[-1]:.2f}x")
+    assert approx_curve[-1] >= exact_curve[-1] * 0.9
+
+
+def test_benchmark_counter_overhead(benchmark):
+    """The instrumented run vs the kernel cost (overhead sanity)."""
+    graph = kernel_graph("dblp")
+    benchmark(lambda: anh_el(graph, 2, 3, counter=WorkSpanCounter()))
+
+
+if __name__ == "__main__":
+    print(build_report())

@@ -1,0 +1,125 @@
+"""Figure 9: comparison against PHCD and sequential NH.
+
+For (1,2), (2,3), and (3,4) nucleus decomposition, runs ANH-TE, ANH-EL,
+the specialized parallel k-core hierarchy PHCD (1,2 only), and the
+sequential NH baseline, and reports multiplicative slowdowns over the
+fastest per configuration -- the paper's Figure 9 presentation. These are
+end-to-end times (orientation + counting + peeling + hierarchy), excluding
+only graph loading, as in the paper.
+
+Two columns are reported for the parallel algorithms:
+
+* ``1t`` -- the measured single-thread wall-clock (what pure Python runs);
+* ``30c`` -- the simulated 30-core time from the measured work/span
+  (Brent's bound; the substitution of DESIGN.md Section 2). The paper's
+  headline 3.76-58.84x advantage over NH comes from real cores; the
+  simulated column reproduces its *shape*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.reporting import banner, format_table
+from repro.baselines.nh import nh
+from repro.baselines.phcd import phcd
+from repro.core.framework import anh_el
+from repro.core.hierarchy_te import hierarchy_te_practical
+from repro.parallel.counters import WorkSpanCounter
+from repro.parallel.runtime import simulated_time
+
+from bench_common import (SKIPPED, bench_graph, kernel_graph, timed,
+                          within_budget)
+
+GRAPHS = ("amazon", "dblp", "youtube", "livejournal", "orkut")
+RS = ((1, 2), (2, 3), (3, 4))
+
+
+def run_comparison(graph_names=GRAPHS, rs_values=RS):
+    """Rows: (graph, (r,s), {impl: (wall_1t, simulated_30c or None)})."""
+    rows = []
+    for name in graph_names:
+        graph = bench_graph(name)
+        for r, s in rs_values:
+            if not within_budget(graph, r, s):
+                rows.append((name, (r, s), {}))
+                continue
+            timings: Dict[str, tuple] = {}
+            for impl, fn, parallel in (
+                    ("anh-te", hierarchy_te_practical, True),
+                    ("anh-el", anh_el, True),
+                    ("nh", nh, False)):
+                counter = WorkSpanCounter()
+                if parallel:
+                    run = timed(lambda: fn(graph, r, s, counter=counter))
+                    sim = simulated_time(counter.snapshot(), 30, run.seconds)
+                else:
+                    run = timed(lambda: fn(graph, r, s))
+                    sim = None
+                timings[impl] = (run.seconds, sim)
+            if (r, s) == (1, 2):
+                counter = WorkSpanCounter()
+                run = timed(lambda: phcd(graph, counter=counter))
+                timings["phcd"] = (
+                    run.seconds,
+                    simulated_time(counter.snapshot(), 30, run.seconds))
+            rows.append((name, (r, s), timings))
+    return rows
+
+
+def build_report(rows=None) -> str:
+    if rows is None:
+        rows = run_comparison()
+    out_rows = []
+    for name, (r, s), timings in rows:
+        if not timings:
+            out_rows.append((name, f"({r},{s})", "OOM/timeout", "", "", ""))
+            continue
+        fastest_1t = min(t for t, _ in timings.values())
+        for impl, (wall, sim) in timings.items():
+            sim_text = f"{sim:.4f}s" if sim is not None else "(sequential)"
+            speed_vs_nh = ""
+            if impl != "nh" and "nh" in timings and sim is not None:
+                speed_vs_nh = f"{timings['nh'][0] / sim:.2f}x vs NH"
+            out_rows.append((name, f"({r},{s})", impl,
+                             f"{wall:.4f}s ({wall / fastest_1t:.2f}x)",
+                             sim_text, speed_vs_nh))
+    table = format_table(
+        ("graph", "(r,s)", "impl", "1-thread wall (slowdown)",
+         "simulated 30-core", "parallel advantage"),
+        out_rows,
+        title="Figure 9: ANH-TE / ANH-EL vs PHCD and sequential NH")
+    return banner("Figure 9") + "\n" + table
+
+
+def test_fig9_report():
+    rows = run_comparison(graph_names=("dblp", "youtube"),
+                          rs_values=((1, 2), (2, 3)))
+    print(build_report(rows))
+    for name, (r, s), timings in rows:
+        if not timings:
+            continue
+        # single-thread ANH is within a small factor of sequential NH
+        # (the paper: between 2.02x faster and 4.2x slower).
+        best_anh = min(timings["anh-te"][0], timings["anh-el"][0])
+        assert best_anh < 25 * timings["nh"][0], (name, r, s)
+        # simulated 30-core ANH beats sequential NH (the Figure 9 headline).
+        best_sim = min(t[1] for impl, t in timings.items()
+                       if t[1] is not None)
+        assert best_sim < timings["nh"][0] * 1.5, (name, r, s)
+        if (r, s) == (1, 2):
+            assert "phcd" in timings
+
+
+def test_benchmark_nh_kernel(benchmark):
+    graph = kernel_graph("dblp")
+    benchmark(lambda: nh(graph, 2, 3))
+
+
+def test_benchmark_phcd_kernel(benchmark):
+    graph = kernel_graph("dblp")
+    benchmark(lambda: phcd(graph))
+
+
+if __name__ == "__main__":
+    print(build_report())

@@ -1,0 +1,105 @@
+"""Section 8.1 statistics: link/unite counts, memory, time split.
+
+The paper explains Figure 6's rankings with three measurements on dblp and
+youtube, all machine-independent, which this harness reproduces exactly:
+
+* the number of LINK + UNITE operations each variant performs (ANH-BL up
+  to 39.75x the others; ANH-EL vs ANH-TE flips with ``s - r``);
+* the memory overhead of the hierarchy structures (ANH-EL = 2 n_r ints,
+  ANH-TE slightly more, ANH-BL = k n_r);
+* the fraction of total time spent computing coreness vs building the
+  hierarchy (the paper: 46.5% / 35.3% / 36.1% on average for BL/EL/TE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.reporting import banner, format_table
+from repro.core.framework import anh_bl, anh_el
+from repro.core.hierarchy_te import hierarchy_te_practical
+
+from bench_common import (bench_graph, kernel_graph, prepare_cached,
+                          rs_grid, within_budget)
+
+GRAPHS = ("dblp", "youtube")
+RS = ((1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (2, 5))
+
+VARIANTS = (("anh-te", hierarchy_te_practical),
+            ("anh-el", anh_el),
+            ("anh-bl", anh_bl))
+
+
+def run_stats(graph_names=GRAPHS, rs_values=RS):
+    cache: Dict = {}
+    rows = []
+    for name in graph_names:
+        graph = bench_graph(name)
+        for r, s in rs_values:
+            if not within_budget(graph, r, s):
+                continue
+            prepared = prepare_cached(cache, graph, r, s)
+            per_variant = {}
+            for variant, fn in VARIANTS:
+                out = fn(graph, r, s, prepared=prepared)
+                ops = out.stats.get("link_calls", 0) + \
+                    out.stats.get("unite_calls", 0)
+                t_core = out.stats.get("seconds_coreness", 0.0)
+                t_tree = out.stats.get("seconds_tree", 0.0)
+                per_variant[variant] = {
+                    "ops": ops,
+                    "memory": out.stats.get("memory_units", 0),
+                    "core_fraction": (t_core / (t_core + t_tree)
+                                      if t_core + t_tree > 0 else 0.0),
+                }
+            rows.append((name, r, s, per_variant))
+    return rows
+
+
+def build_report(rows=None) -> str:
+    if rows is None:
+        rows = run_stats()
+    op_rows, mem_rows, frac_rows = [], [], []
+    for name, r, s, pv in rows:
+        op_rows.append((name, f"({r},{s})", pv["anh-te"]["ops"],
+                        pv["anh-el"]["ops"], pv["anh-bl"]["ops"],
+                        f"{pv['anh-bl']['ops'] / max(min(pv['anh-te']['ops'], pv['anh-el']['ops']), 1):.2f}x"))
+        mem_rows.append((name, f"({r},{s})", pv["anh-te"]["memory"],
+                         pv["anh-el"]["memory"], pv["anh-bl"]["memory"],
+                         f"{pv['anh-bl']['memory'] / max(pv['anh-el']['memory'], 1):.2f}x"))
+        frac_rows.append((name, f"({r},{s})",
+                          f"{pv['anh-te']['core_fraction']:.1%}",
+                          f"{pv['anh-el']['core_fraction']:.1%}",
+                          f"{pv['anh-bl']['core_fraction']:.1%}"))
+    ops = format_table(
+        ("graph", "(r,s)", "anh-te", "anh-el", "anh-bl", "bl blowup"),
+        op_rows, title="Section 8.1: LINK + UNITE operation counts")
+    mem = format_table(
+        ("graph", "(r,s)", "anh-te", "anh-el", "anh-bl", "bl vs el"),
+        mem_rows, title="Section 8.1: hierarchy memory overhead (ints held)")
+    frac = format_table(
+        ("graph", "(r,s)", "anh-te core%", "anh-el core%", "anh-bl core%"),
+        frac_rows,
+        title="Section 8.1: coreness share of total decomposition time")
+    return banner("Section 8.1") + "\n" + "\n\n".join((ops, mem, frac))
+
+
+def test_sec81_report():
+    rows = run_stats(graph_names=("dblp",), rs_values=((2, 3), (1, 3)))
+    print(build_report(rows))
+    for name, r, s, pv in rows:
+        # ANH-BL performs the most link+unite work and holds the most
+        # memory -- the paper's core observation.
+        assert pv["anh-bl"]["ops"] >= pv["anh-el"]["ops"]
+        assert pv["anh-bl"]["memory"] >= pv["anh-el"]["memory"]
+        # ANH-EL's overhead is exactly 2 n_r; ANH-TE's is 3 n_r.
+        assert pv["anh-te"]["memory"] == 1.5 * pv["anh-el"]["memory"]
+
+
+def test_benchmark_link_el_kernel(benchmark):
+    graph = kernel_graph("dblp")
+    benchmark(lambda: anh_el(graph, 2, 4))
+
+
+if __name__ == "__main__":
+    print(build_report())

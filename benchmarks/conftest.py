@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark directory.
+
+Makes the benchmark modules importable as scripts and registers nothing
+else; all tuning lives in environment variables (see bench_common.py).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

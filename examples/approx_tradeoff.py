@@ -1,0 +1,64 @@
+"""The exact-vs-approximate tradeoff (Algorithm 2, Section 8.3).
+
+APPROX-ARB-NUCLEUS trades a bounded amount of coreness accuracy for a
+collapse in peeling rounds -- the critical path of the parallel
+computation. This example sweeps delta and shows, for each setting:
+
+* peeling rounds (exact vs approximate),
+* the estimate error distribution against the proven bound,
+* the predicted 30-core running times from the measured work/span.
+
+Run:  python examples/approx_tradeoff.py
+"""
+
+from math import comb
+
+from repro import nucleus_decomposition
+from repro.analysis.errors import summarize_errors
+from repro.analysis.reporting import format_table
+from repro.core.approx import approximation_bound
+from repro.graphs.generators import powerlaw_cluster, with_planted_communities
+
+R, S = 2, 3
+
+
+def main():
+    base = powerlaw_cluster(800, 3, 0.5, seed=21)
+    graph = with_planted_communities(base, sizes=[30, 22, 16, 12],
+                                     p_in=0.6, seed=22, name="sweep")
+    exact = nucleus_decomposition(graph, R, S, hierarchy=False)
+    print(f"graph: n={graph.n}, m={graph.m}; "
+          f"exact ({R},{S}): max core {exact.max_core:g}, "
+          f"rho = {exact.rho} peeling rounds\n")
+
+    rows = []
+    for delta in (0.05, 0.1, 0.25, 0.5, 1.0, 2.0):
+        approx = nucleus_decomposition(graph, R, S, hierarchy=False,
+                                       approx=True, delta=delta)
+        errors = summarize_errors(exact.core, approx.core)
+        bound = approximation_bound(comb(S, R), delta)
+        rows.append((
+            delta,
+            f"{approx.rho} (vs {exact.rho})",
+            f"{errors.median_error:.2f}x",
+            f"{errors.max_error:.2f}x",
+            f"{bound:.1f}x",
+            f"{approx.simulated_seconds(30) * 1e3:.1f}ms "
+            f"(vs {exact.simulated_seconds(30) * 1e3:.1f}ms)",
+        ))
+    print(format_table(
+        ("delta", "peel rounds", "median err", "max err",
+         "proven bound", "simulated 30-core"),
+        rows,
+        title="delta sweep: rounds collapse, error stays far inside the bound"))
+
+    print("\nTakeaways (matching the paper's Section 8.3):")
+    print(" * rounds drop by an order of magnitude even for small delta;")
+    print(" * observed errors sit well below the worst-case "
+          "(C(s,r)+delta)(1+delta) factor;")
+    print(" * the hierarchy works identically on the estimates "
+          "(approx=True with hierarchy=True).")
+
+
+if __name__ == "__main__":
+    main()

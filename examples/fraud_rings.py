@@ -1,0 +1,88 @@
+"""Detecting dense collusion rings in a sparse interaction graph.
+
+Fraud detection is one of the paper's motivating applications (Section 1):
+collusion rings -- accounts that all interact with one another -- appear
+as small, unusually dense subgraphs buried in a large sparse graph. The
+higher-order (r, s) nuclei are much more selective than plain k-cores:
+a (3, 4) nucleus requires every *triangle* to be in many 4-cliques, which
+organic interaction graphs rarely produce.
+
+This example plants three rings in a sparse transaction-like graph and
+shows that:
+
+* the (1, 2) core (classic k-core) flags a large, noisy candidate set;
+* the (3, 4) nuclei isolate the planted rings almost exactly.
+
+Run:  python examples/fraud_rings.py
+"""
+
+import random
+
+from repro import nucleus_decomposition
+from repro.graphs.generators import barabasi_albert, with_planted_communities
+from repro.graphs.graph import Graph
+
+
+def build_transactions(n=900, seed=5):
+    """A sparse scale-free interaction graph with 3 planted rings."""
+    base = barabasi_albert(n, 2, seed=seed)
+    rng = random.Random(seed + 1)
+    rings = []
+    edges = list(base.edges())
+    used = set()
+    for size in (9, 7, 6):
+        ring = []
+        while len(ring) < size:
+            v = rng.randrange(n)
+            if v not in used:
+                used.add(v)
+                ring.append(v)
+        rings.append(sorted(ring))
+        for i, u in enumerate(ring):
+            for v in ring[i + 1:]:
+                if rng.random() < 0.9:
+                    edges.append((u, v))
+    return Graph(n, edges, name="transactions"), rings
+
+
+def jaccard(a, b):
+    a, b = set(a), set(b)
+    return len(a & b) / len(a | b)
+
+
+def main():
+    graph, rings = build_transactions()
+    print(f"interaction graph: {graph.n} accounts, {graph.m} interactions")
+    print(f"planted rings: {[len(r) for r in rings]} accounts\n")
+
+    # Baseline: classic k-core (the (1,2) nucleus). The deep core is big
+    # and noisy -- hubs of the scale-free graph survive peeling.
+    kcore = nucleus_decomposition(graph, 1, 2)
+    deepest = kcore.max_core
+    candidates = sorted({v for nucleus in kcore.nuclei_at(deepest)
+                         for v in nucleus})
+    print(f"k-core baseline: deepest core (k={deepest:g}) flags "
+          f"{len(candidates)} accounts")
+
+    # Higher-order: (3,4) nuclei. Only near-clique structure survives.
+    nucleus = nucleus_decomposition(graph, 3, 4)
+    print(f"(3,4) decomposition: max core {nucleus.max_core:g}, "
+          f"{nucleus.tree.n_internal} nuclei\n")
+    suspects = [n for n in nucleus.nuclei_at(1) if len(n) >= 5]
+    suspects.sort(key=len, reverse=True)
+    print(f"(3,4) nuclei with >= 5 accounts: {len(suspects)}")
+    for found in suspects:
+        best = max(rings, key=lambda ring: jaccard(found, ring))
+        print(f"  flagged {len(found)} accounts -> best planted-ring "
+              f"overlap (Jaccard): {jaccard(found, best):.2f}")
+
+    recovered = sum(
+        1 for ring in rings
+        if any(jaccard(found, ring) > 0.6 for found in suspects))
+    print(f"\nrecovered {recovered}/{len(rings)} planted rings via "
+          f"(3,4) nuclei")
+    assert recovered >= 2, "expected the higher-order nuclei to find rings"
+
+
+if __name__ == "__main__":
+    main()

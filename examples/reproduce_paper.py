@@ -1,0 +1,64 @@
+"""One command to regenerate every paper table and figure.
+
+Runs all benchmark harnesses at the current ``REPRO_BENCH_SCALE`` and
+writes their reports into ``results/`` -- the artifact set EXPERIMENTS.md
+is written against.
+
+Run:  python examples/reproduce_paper.py [output_dir]
+
+Environment knobs (see benchmarks/bench_common.py):
+  REPRO_BENCH_SCALE    graph scale factor (default 1.0)
+  REPRO_BENCH_BUDGET   per-configuration work budget (default 3e6)
+"""
+
+import importlib.util
+import os
+import sys
+import time
+
+HARNESSES = [
+    ("table1_graphs", "Table 1"),
+    ("fig6_exact_variants", "Figure 6"),
+    ("fig7_best_times", "Figure 7"),
+    ("fig8_scalability", "Figure 8"),
+    ("fig9_comparison", "Figure 9"),
+    ("fig10_density", "Figure 10"),
+    ("sec81_link_counts", "Section 8.1"),
+    ("sec83_approx", "Section 8.3"),
+    ("ablation", "Ablations"),
+    ("local_convergence", "Local model"),
+]
+
+
+def load_harness(name):
+    root = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+    sys.path.insert(0, root)
+    path = os.path.join(root, f"bench_{name}.py")
+    spec = importlib.util.spec_from_file_location(f"bench_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(__file__), "..", "results")
+    os.makedirs(out_dir, exist_ok=True)
+    total_start = time.perf_counter()
+    for name, label in HARNESSES:
+        start = time.perf_counter()
+        print(f"[{label}] running bench_{name} ...", flush=True)
+        module = load_harness(name)
+        report = module.build_report()
+        path = os.path.join(out_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"[{label}] wrote {path} "
+              f"({time.perf_counter() - start:.1f}s)", flush=True)
+    print(f"\nall reports regenerated in "
+          f"{time.perf_counter() - total_start:.1f}s; see EXPERIMENTS.md "
+          f"for the paper-vs-measured reading guide")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Why (r, s) nuclei: k-core vs k-truss vs (3, 4) on the same graph.
+
+Sariyuce et al. introduced nucleus decomposition because higher (r, s)
+values find higher-quality dense subgraphs than k-core or k-truss (the
+quality metric is edge density, as in the paper's Figure 10). This
+example runs (1,2), (2,3), and (3,4) on one graph and compares the edge
+density of the best subgraph each decomposition surfaces at a comparable
+size -- plus the round-trip through SNAP edge-list files, showing the IO
+path users would take with real data.
+
+Run:  python examples/truss_vs_nucleus.py
+"""
+
+import io
+
+from repro import nucleus_decomposition, read_edge_list, write_edge_list
+from repro.analysis.density import edge_density
+from repro.analysis.reporting import format_table
+from repro.graphs.generators import powerlaw_cluster, with_planted_communities
+
+
+def build_graph():
+    base = powerlaw_cluster(700, 3, 0.55, seed=33)
+    return with_planted_communities(base, sizes=[26, 14, 10], p_in=0.55,
+                                    seed=34, name="quality-demo")
+
+
+def main():
+    graph = build_graph()
+
+    # Round-trip through the SNAP edge-list format (what you would do
+    # with a real downloaded graph).
+    buffer = io.StringIO()
+    write_edge_list(graph, buffer)
+    graph = read_edge_list(io.StringIO(buffer.getvalue()),
+                           name="quality-demo")
+    print(f"graph: n={graph.n}, m={graph.m} "
+          f"(round-tripped through edge-list IO)\n")
+
+    rows = []
+    for r, s, label in ((1, 2, "k-core"), (2, 3, "k-truss"),
+                        (3, 4, "(3,4) nucleus")):
+        result = nucleus_decomposition(graph, r, s)
+        # the deepest nucleus of a nontrivial size
+        best = result.densest_nucleus(min_vertices=8)
+        deepest = result.nuclei_at(result.max_core)
+        deepest_vertices = deepest[0] if deepest else []
+        rows.append((
+            label,
+            f"{result.max_core:g}",
+            len(deepest_vertices),
+            f"{edge_density(graph, deepest_vertices):.3f}",
+            best.n_vertices,
+            f"{best.density:.3f}",
+        ))
+    print(format_table(
+        ("decomposition", "max core", "deepest |V|", "deepest density",
+         "best |V|>=8", "best density"),
+        rows,
+        title="quality comparison: deeper (r,s) = denser discovered subgraphs"))
+
+    best = [float(row[5]) for row in rows]
+    print("\nBest >=8-vertex subgraph surfaced by each decomposition:")
+    print(f"  k-core {best[0]:.3f} <= k-truss {best[1]:.3f} "
+          f"<= (3,4) nucleus {best[2]:.3f}")
+    assert best[0] <= best[1] + 1e-9 and best[1] <= best[2] + 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on minimal offline environments whose setuptools
+cannot build PEP 660 editable wheels (no ``wheel`` package available).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Parallel algorithms for hierarchical nucleus decomposition "
+                 "(SIGMOD 2024 reproduction)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+)

@@ -1,0 +1,50 @@
+"""repro: parallel algorithms for hierarchical nucleus decomposition.
+
+A complete, tested Python reproduction of Shi, Dhulipala, and Shun,
+"Parallel Algorithms for Hierarchical Nucleus Decomposition" (SIGMOD 2024):
+exact and approximate (r, s) nucleus decomposition with full hierarchy
+construction, the paper's three hierarchy algorithms (ANH-TE, ANH-EL,
+ANH-BL), its baselines (NH, PHCD), and a work-span-instrumented simulated
+parallel runtime standing in for shared-memory threads (see DESIGN.md).
+
+Quickstart::
+
+    from repro import nucleus_decomposition, powerlaw_cluster
+
+    graph = powerlaw_cluster(500, 4, 0.7, seed=1)
+    result = nucleus_decomposition(graph, r=2, s=3)   # k-truss hierarchy
+    print(result.summary())
+    for nucleus in result.nuclei_at(3):               # all 3-(2,3) nuclei
+        print(nucleus)
+"""
+
+from .core import (Community, CorenessResult, HierarchyQueryIndex,
+                   HierarchyTree, NucleusDecomposition, approx_arb_nucleus,
+                   approximation_bound, arb_nucleus, choose_method,
+                   hierarchy_statistics, k_clique_densest,
+                   k_clique_densest_parallel, k_core, k_truss,
+                   nucleus_decomposition)
+from .export import (decomposition_to_json, load_coreness, nuclei_to_rows,
+                     tree_to_dot)
+from .errors import (DataStructureError, GraphFormatError, HierarchyError,
+                     ParameterError, ReproError)
+from .graphs import (Graph, barabasi_albert, erdos_renyi, load_dataset,
+                     planted_nuclei, powerlaw_cluster, read_edge_list,
+                     watts_strogatz, write_edge_list)
+from .parallel import MachineModel, WorkSpanCounter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Community", "HierarchyQueryIndex", "hierarchy_statistics",
+    "decomposition_to_json", "load_coreness", "nuclei_to_rows",
+    "k_clique_densest", "k_clique_densest_parallel",
+    "tree_to_dot", "CorenessResult", "HierarchyTree", "NucleusDecomposition",
+    "approx_arb_nucleus", "approximation_bound", "arb_nucleus",
+    "choose_method", "k_core", "k_truss", "nucleus_decomposition",
+    "DataStructureError", "GraphFormatError", "HierarchyError",
+    "ParameterError", "ReproError", "Graph", "barabasi_albert",
+    "erdos_renyi", "load_dataset", "planted_nuclei", "powerlaw_cluster",
+    "read_edge_list", "watts_strogatz", "write_edge_list", "MachineModel",
+    "WorkSpanCounter", "__version__",
+]

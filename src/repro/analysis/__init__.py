@@ -1,0 +1,20 @@
+"""Result analysis: nucleus density, approximation errors, reporting."""
+
+from .compare import (LevelSimilarity, confusion_summary,
+                      hierarchy_similarity, partition_agreement, rand_index)
+from .density import (NucleusProfile, densest_nucleus, density_profile,
+                      edge_density, nucleus_vertices)
+from .errors import ErrorSummary, multiplicative_errors, summarize_errors
+from .peeling import (PeelingProfile, profile_approx_peeling,
+                      profile_exact_peeling, round_histogram)
+from .reporting import banner, format_series, format_slowdowns, format_table
+
+__all__ = [
+    "LevelSimilarity", "confusion_summary", "hierarchy_similarity",
+    "partition_agreement", "rand_index", "NucleusProfile", "densest_nucleus", "density_profile", "edge_density",
+    "nucleus_vertices", "ErrorSummary", "multiplicative_errors",
+    "summarize_errors", "PeelingProfile", "profile_approx_peeling",
+    "profile_exact_peeling", "round_histogram", "banner", "format_series",
+    "format_slowdowns",
+    "format_table",
+]

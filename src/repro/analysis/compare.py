@@ -1,0 +1,151 @@
+"""Comparing two hierarchies over the same r-clique universe.
+
+Used to quantify how close an *approximate* hierarchy is to the exact one
+(Section 8.3 reports coreness errors; these helpers extend the analysis
+to the tree structure itself):
+
+* :func:`rand_index` / :func:`partition_agreement` -- pairwise-agreement
+  similarity between two partitions of the same elements;
+* :func:`hierarchy_similarity` -- level-by-level agreement between two
+  trees, aligning each level of tree A with the partition tree B induces
+  at the same threshold;
+* :func:`confusion_summary` -- how many exact nuclei are preserved /
+  merged / split in the second hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.tree import HierarchyTree
+from ..errors import ParameterError
+
+
+def _labels_from_partition(groups: Iterable[Iterable[int]],
+                           n: int) -> List[int]:
+    labels = [-1] * n
+    for label, group in enumerate(groups):
+        for x in group:
+            if not 0 <= x < n:
+                raise ParameterError(f"element {x} out of range for n={n}")
+            labels[x] = label
+    return labels
+
+
+def rand_index(partition_a: Sequence[Iterable[int]],
+               partition_b: Sequence[Iterable[int]], n: int) -> float:
+    """Rand index between two partitions of (subsets of) ``0..n-1``.
+
+    Elements missing from a partition form singletons, so partial
+    partitions (only the active r-cliques at a level) compare sensibly.
+    Returns 1.0 for identical groupings.
+    """
+    a = _labels_from_partition(partition_a, n)
+    b = _labels_from_partition(partition_b, n)
+    # contingency counts over pairs via label-pair frequencies
+    from collections import Counter
+    pair = Counter()
+    count_a = Counter()
+    count_b = Counter()
+    for x in range(n):
+        la = (a[x], x) if a[x] == -1 else (a[x],)
+        lb = (b[x], x) if b[x] == -1 else (b[x],)
+        pair[(la, lb)] += 1
+        count_a[la] += 1
+        count_b[lb] += 1
+
+    def choose2(c: int) -> int:
+        return c * (c - 1) // 2
+
+    same_both = sum(choose2(c) for c in pair.values())
+    same_a = sum(choose2(c) for c in count_a.values())
+    same_b = sum(choose2(c) for c in count_b.values())
+    total = choose2(n)
+    if total == 0:
+        return 1.0
+    agreements = total + 2 * same_both - same_a - same_b
+    return agreements / total
+
+
+def partition_agreement(partition_a: Sequence[Iterable[int]],
+                        partition_b: Sequence[Iterable[int]]) -> float:
+    """Fraction of groups of A that appear verbatim in B."""
+    sets_b = {frozenset(g) for g in partition_b}
+    groups_a = [frozenset(g) for g in partition_a]
+    if not groups_a:
+        return 1.0
+    return sum(1 for g in groups_a if g in sets_b) / len(groups_a)
+
+
+@dataclass(frozen=True)
+class LevelSimilarity:
+    """Agreement between two hierarchies at one exact level."""
+
+    level: float
+    rand: float
+    exact_nuclei: int
+    other_nuclei: int
+    preserved: int   # exact nuclei appearing verbatim
+    merged: int      # exact nuclei strictly inside one other-nucleus
+    split: int       # exact nuclei spread over several other-nuclei
+
+
+def hierarchy_similarity(exact: HierarchyTree,
+                         other: HierarchyTree) -> List[LevelSimilarity]:
+    """Per-level agreement of ``other`` against ``exact``.
+
+    At each distinct level of the exact tree, both trees are cut at that
+    threshold and the resulting partitions compared. Requires both trees
+    to share the leaf universe.
+    """
+    if exact.n_leaves != other.n_leaves:
+        raise ParameterError(
+            f"trees have different leaf counts: {exact.n_leaves} vs "
+            f"{other.n_leaves}")
+    n = exact.n_leaves
+    out: List[LevelSimilarity] = []
+    for level in exact.distinct_levels():
+        nuclei_exact = [frozenset(g) for g in exact.nuclei_at(level)]
+        nuclei_other = [frozenset(g) for g in other.nuclei_at(level)]
+        owner: Dict[int, int] = {}
+        for i, group in enumerate(nuclei_other):
+            for x in group:
+                owner[x] = i
+        preserved = merged = split = 0
+        other_set = set(nuclei_other)
+        for group in nuclei_exact:
+            if group in other_set:
+                preserved += 1
+                continue
+            owners = {owner.get(x) for x in group}
+            if len(owners) == 1 and None not in owners:
+                merged += 1
+            else:
+                split += 1
+        out.append(LevelSimilarity(
+            level=level,
+            rand=rand_index(nuclei_exact, nuclei_other, n),
+            exact_nuclei=len(nuclei_exact),
+            other_nuclei=len(nuclei_other),
+            preserved=preserved,
+            merged=merged,
+            split=split,
+        ))
+    return out
+
+
+def confusion_summary(similarities: Sequence[LevelSimilarity]
+                      ) -> Dict[str, float]:
+    """Aggregate preserved/merged/split fractions over all levels."""
+    total = sum(s.exact_nuclei for s in similarities)
+    if total == 0:
+        return {"preserved": 1.0, "merged": 0.0, "split": 0.0,
+                "mean_rand": 1.0}
+    return {
+        "preserved": sum(s.preserved for s in similarities) / total,
+        "merged": sum(s.merged for s in similarities) / total,
+        "split": sum(s.split for s in similarities) / total,
+        "mean_rand": (sum(s.rand for s in similarities)
+                      / len(similarities)),
+    }

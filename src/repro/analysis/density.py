@@ -1,0 +1,85 @@
+"""Edge-density analysis of nuclei (Figure 10, left).
+
+The paper evaluates nucleus quality by *edge density*: for a vertex set
+``S``, the number of induced edges divided by ``C(|S|, 2)``. The hierarchy
+makes sweeping this metric cheap -- every internal node is a nucleus, and
+its vertex set is the union of its leaf r-cliques' vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set
+
+from ..cliques.index import CliqueIndex
+from ..core.tree import HierarchyTree
+from ..graphs.graph import Graph
+
+
+def nucleus_vertices(index: CliqueIndex, leaf_ids: Iterable[int]) -> Set[int]:
+    """Union of the vertices of the given r-cliques."""
+    out: Set[int] = set()
+    for rid in leaf_ids:
+        out.update(index.clique_of(rid))
+    return out
+
+
+def edge_density(graph: Graph, vertices: Sequence[int]) -> float:
+    """Induced edge count over ``C(|S|, 2)`` (0.0 for fewer than 2 vertices)."""
+    vs = set(vertices)
+    k = len(vs)
+    if k < 2:
+        return 0.0
+    edges = 0
+    for u in vs:
+        for v in graph.neighbor_set(u):
+            if v > u and v in vs:
+                edges += 1
+    return edges / (k * (k - 1) / 2)
+
+
+@dataclass(frozen=True)
+class NucleusProfile:
+    """One row of the Figure 10 (left) scatter: a nucleus's size/density."""
+
+    level: float
+    n_vertices: int
+    n_r_cliques: int
+    density: float
+
+
+def density_profile(graph: Graph, index: CliqueIndex, tree: HierarchyTree,
+                    min_vertices: int = 2) -> List[NucleusProfile]:
+    """Size vs density for every internal node (nucleus) of the tree.
+
+    Sorted by level descending then size; nuclei smaller than
+    ``min_vertices`` are dropped (their density is degenerate).
+    """
+    rows: List[NucleusProfile] = []
+    for node in range(tree.n_leaves, tree.n_nodes):
+        leaves = tree.leaves_under(node)
+        vertices = nucleus_vertices(index, leaves)
+        if len(vertices) < min_vertices:
+            continue
+        rows.append(NucleusProfile(
+            level=tree.level[node],
+            n_vertices=len(vertices),
+            n_r_cliques=len(leaves),
+            density=edge_density(graph, sorted(vertices)),
+        ))
+    rows.sort(key=lambda p: (-p.level, p.n_vertices))
+    return rows
+
+
+def densest_nucleus(graph: Graph, index: CliqueIndex, tree: HierarchyTree,
+                    min_vertices: int = 3) -> NucleusProfile:
+    """The densest nucleus with at least ``min_vertices`` vertices.
+
+    Returns a degenerate all-zero profile when the tree has no qualifying
+    nucleus (e.g. a triangle-free graph under (2, 3)).
+    """
+    rows = density_profile(graph, index, tree, min_vertices=min_vertices)
+    if not rows:
+        return NucleusProfile(level=0.0, n_vertices=0, n_r_cliques=0,
+                              density=0.0)
+    return max(rows, key=lambda p: (p.density, p.n_vertices))

@@ -1,0 +1,81 @@
+"""Approximation-error statistics (Section 8.3).
+
+The paper reports, per graph and (r, s): the mean/median multiplicative
+error of the coreness estimates, the error of the maximum core number, and
+the worst per-clique error -- all relative to the exact values. These
+helpers compute the same statistics, with the same conventions:
+
+* cliques with exact core 0 must have estimate 0 (checked) and are
+  excluded from the ratios;
+* the multiplicative error of a clique is ``estimate / exact`` (always
+  ``>= 1`` for a valid run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import List, Sequence
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate multiplicative-error statistics for one approximate run."""
+
+    n_compared: int
+    mean_error: float
+    median_error: float
+    max_error: float
+    max_core_exact: float
+    max_core_approx: float
+
+    @property
+    def max_core_error(self) -> float:
+        """Multiplicative error of the maximum core number."""
+        if self.max_core_exact == 0:
+            return 1.0
+        return self.max_core_approx / self.max_core_exact
+
+
+def multiplicative_errors(exact: Sequence[float],
+                          approx: Sequence[float]) -> List[float]:
+    """Per-clique ratios ``approx / exact`` over cliques with exact > 0.
+
+    Raises :class:`ParameterError` on a ratio below 1 (an under-estimate
+    would violate Theorem 6.3) or on a nonzero estimate for a zero core.
+    """
+    if len(exact) != len(approx):
+        raise ParameterError(
+            f"length mismatch: {len(exact)} exact vs {len(approx)} approx")
+    ratios: List[float] = []
+    for i, (e, a) in enumerate(zip(exact, approx)):
+        if e == 0:
+            if a != 0:
+                raise ParameterError(
+                    f"clique {i}: estimate {a} for exact core 0")
+            continue
+        ratio = a / e
+        if ratio < 1.0 - 1e-9:
+            raise ParameterError(
+                f"clique {i}: estimate {a} below exact core {e}")
+        ratios.append(max(ratio, 1.0))
+    return ratios
+
+
+def summarize_errors(exact: Sequence[float],
+                     approx: Sequence[float]) -> ErrorSummary:
+    """Compute the Section 8.3 error statistics for one run."""
+    ratios = multiplicative_errors(exact, approx)
+    if not ratios:
+        return ErrorSummary(0, 1.0, 1.0, 1.0,
+                            max(exact, default=0.0), max(approx, default=0.0))
+    return ErrorSummary(
+        n_compared=len(ratios),
+        mean_error=mean(ratios),
+        median_error=median(ratios),
+        max_error=max(ratios),
+        max_core_exact=max(exact, default=0.0),
+        max_core_approx=max(approx, default=0.0),
+    )

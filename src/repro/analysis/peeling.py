@@ -1,0 +1,118 @@
+"""Peeling-complexity analytics.
+
+The paper's bounds are parameterized by the *(r, s) peeling complexity*
+``rho_(r,s)(G)`` -- the number of rounds needed when every round removes
+all minimum-degree r-cliques -- and by the maximum core number ``k``
+(``k <= rho <= O(m alpha^(r-2))``). These helpers profile the peeling
+process itself: rounds, batch sizes, and how the approximate algorithm
+compresses the round structure. The scalability discussion in
+EXPERIMENTS.md and the Figure 8 bench use them to explain where span goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..ds.bucketing import BucketQueue
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class PeelingProfile:
+    """Round-by-round trace of one peeling run."""
+
+    rounds: int                      # rho
+    k_max: float                     # maximum core value
+    batch_sizes: Tuple[int, ...]     # r-cliques peeled per round
+    round_values: Tuple[float, ...]  # bucket value per round
+
+    @property
+    def n_peeled(self) -> int:
+        return sum(self.batch_sizes)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.n_peeled / self.rounds if self.rounds else 0.0
+
+    @property
+    def max_batch(self) -> int:
+        return max(self.batch_sizes, default=0)
+
+    @property
+    def sequentiality(self) -> float:
+        """rho / n_r: 1.0 = fully sequential peeling, ~0 = one round.
+
+        The paper's span bound scales with rho; this ratio is the
+        intuition for why the approximate algorithm helps.
+        """
+        return self.rounds / self.n_peeled if self.n_peeled else 0.0
+
+
+def profile_exact_peeling(incidence) -> PeelingProfile:
+    """Trace the exact peeling rounds of an incidence (no hierarchy)."""
+    queue = BucketQueue(incidence.initial_degrees())
+    alive = [True] * incidence.n_r
+    batches: List[int] = []
+    values: List[float] = []
+    k_cur = 0
+    while not queue.empty:
+        value, batch = queue.next_bucket()
+        k_cur = max(k_cur, value)
+        batches.append(len(batch))
+        values.append(float(k_cur))
+        for rid in batch:
+            for members in incidence.s_cliques_containing(rid):
+                others = [x for x in members if x != rid]
+                if all(alive[o] for o in others):
+                    for other in others:
+                        if queue.alive(other):
+                            queue.decrement(other)
+            alive[rid] = False
+    return PeelingProfile(rounds=len(batches), k_max=float(k_cur),
+                          batch_sizes=tuple(batches),
+                          round_values=tuple(values))
+
+
+def profile_approx_peeling(incidence, delta: float,
+                           round_cap: Optional[int] = None) -> PeelingProfile:
+    """Trace the approximate peeling rounds (Algorithm 2)."""
+    from ..ds.approx_bucketing import GeometricBucketQueue
+    if delta <= 0:
+        raise ParameterError(f"delta must be > 0, got {delta}")
+    queue = GeometricBucketQueue(incidence.initial_degrees(),
+                                 incidence.s_choose_r, delta,
+                                 round_cap=round_cap)
+    alive = [True] * incidence.n_r
+    batches: List[int] = []
+    values: List[float] = []
+    while not queue.empty:
+        upper, batch = queue.next_round()
+        batches.append(len(batch))
+        values.append(upper)
+        for rid in batch:
+            for members in incidence.s_cliques_containing(rid):
+                others = [x for x in members if x != rid]
+                if all(alive[o] for o in others):
+                    for other in others:
+                        if queue.alive(other):
+                            queue.decrement(other)
+            alive[rid] = False
+    return PeelingProfile(rounds=len(batches),
+                          k_max=max(values, default=0.0),
+                          batch_sizes=tuple(batches),
+                          round_values=tuple(values))
+
+
+def round_histogram(profile: PeelingProfile,
+                    n_bins: int = 10) -> List[Tuple[str, int]]:
+    """Histogram of batch sizes (for text reports)."""
+    if not profile.batch_sizes:
+        return []
+    top = max(profile.batch_sizes)
+    width = max(1, (top + n_bins - 1) // n_bins)
+    bins = [0] * ((top // width) + 1)
+    for size in profile.batch_sizes:
+        bins[size // width] += 1
+    return [(f"{i * width}-{(i + 1) * width - 1}", count)
+            for i, count in enumerate(bins) if count]

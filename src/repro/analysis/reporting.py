@@ -1,0 +1,79 @@
+"""Fixed-width text reporting used by every benchmark harness.
+
+The benchmarks print the paper's tables and figure data as plain text so
+results can be diffed and archived (EXPERIMENTS.md records them). These
+helpers keep formatting consistent across all harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a left-aligned fixed-width table; floats get 4 significant digits."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 0.001:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    all_rows = [list(headers)] + text_rows
+    widths = [max(len(r[i]) for r in all_rows) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_slowdowns(labels: Sequence[str], seconds: Sequence[float],
+                     title: str = "") -> str:
+    """Render multiplicative slowdowns over the fastest entry (Figure 6/9 style).
+
+    Entries with non-finite timing are shown as ``OOM/timeout`` like the
+    paper's omitted bars.
+    """
+    finite = [t for t in seconds if t == t and t != float("inf")]
+    fastest = min(finite) if finite else float("nan")
+    rows = []
+    for label, t in zip(labels, seconds):
+        if t != t or t == float("inf"):
+            rows.append((label, "OOM/timeout", ""))
+        else:
+            rows.append((label, f"{t:.4f}s",
+                         f"{t / fastest:.2f}x" if fastest else ""))
+    out = format_table(("implementation", "time", "slowdown"), rows,
+                       title=title)
+    if finite:
+        out += f"\n(fastest: {fastest:.4f}s)"
+    return out
+
+
+def format_series(x_label: str, xs: Sequence[object], series: dict,
+                  title: str = "") -> str:
+    """Render one or more named series against a shared x-axis (Figure 8 style)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name][i])
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def banner(text: str) -> str:
+    """A visually distinct section banner for benchmark output."""
+    bar = "#" * (len(text) + 8)
+    return f"\n{bar}\n### {text} ###\n{bar}"

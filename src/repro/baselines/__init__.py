@@ -1,0 +1,18 @@
+"""Baseline algorithms the paper compares against (and test oracles)."""
+
+from .kcore import core_numbers, degeneracy, k_core_subgraph
+from .local import LocalResult, h_index, local_nucleus
+from .ktruss import max_truss, truss_core_numbers
+from .naive_hierarchy import (coreness_histogram, level_graph_components,
+                              naive_hierarchy, nuclei_without_hierarchy,
+                              sequential_coreness)
+from .nh import NHResult, nh
+from .phcd import PHCDResult, kcore_peel, phcd
+
+__all__ = [
+    "core_numbers", "degeneracy", "k_core_subgraph", "LocalResult",
+    "h_index", "local_nucleus", "max_truss",
+    "truss_core_numbers", "coreness_histogram", "level_graph_components",
+    "naive_hierarchy", "nuclei_without_hierarchy", "sequential_coreness",
+    "NHResult", "nh", "PHCDResult", "kcore_peel", "phcd",
+]

@@ -1,0 +1,55 @@
+"""Classic sequential k-core decomposition (Matula-Beck / Batagelj-Zaversnik).
+
+The (1, 2) nucleus decomposition's textbook algorithm, used as an
+independent oracle for the general machinery: ``arb_nucleus(G, 1, 2)`` must
+produce exactly these core numbers (tested, and also cross-checked against
+``networkx.core_number`` in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graphs.graph import Graph
+
+
+def core_numbers(graph: Graph) -> List[int]:
+    """Vertex core numbers by repeated minimum-degree removal, O(n + m)."""
+    n = graph.n
+    degree = graph.degrees()
+    max_deg = max(degree, default=0)
+    buckets: List[List[int]] = [[] for _ in range(max_deg + 1)]
+    for v in range(n):
+        buckets[degree[v]].append(v)
+    removed = [False] * n
+    core = [0] * n
+    k = 0
+    processed = 0
+    cursor = 0
+    while processed < n:
+        while cursor > 0 and buckets[cursor - 1]:
+            cursor -= 1
+        while cursor <= max_deg and not buckets[cursor]:
+            cursor += 1
+        v = buckets[cursor].pop()
+        if removed[v] or degree[v] != cursor:
+            continue  # stale bucket entry
+        removed[v] = True
+        processed += 1
+        k = max(k, degree[v])
+        core[v] = k
+        for u in graph.neighbors(v):
+            if not removed[u]:
+                degree[u] -= 1
+                buckets[degree[u]].append(u)
+    return core
+
+
+def degeneracy(graph: Graph) -> int:
+    """The graph's degeneracy (= maximum core number)."""
+    return max(core_numbers(graph), default=0)
+
+
+def k_core_subgraph(graph: Graph, k: int) -> List[int]:
+    """Vertices of the k-core (possibly empty)."""
+    return [v for v, c in enumerate(core_numbers(graph)) if c >= k]

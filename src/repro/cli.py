@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro``.
+
+Decompose a SNAP-style edge list (or a named synthetic dataset) from the
+shell, without writing Python:
+
+    python -m repro decompose graph.txt --r 2 --s 3
+    python -m repro decompose --dataset dblp --r 2 --s 4 --approx --delta 0.5
+    python -m repro nuclei graph.txt --r 2 --s 3 --level 3
+    python -m repro export graph.txt --r 2 --s 3 --format dot -o tree.dot
+    python -m repro datasets
+
+Subcommands
+-----------
+``decompose``   run a decomposition, print the summary + hierarchy stats
+``nuclei``      print the nuclei at one level (or the densest ones)
+``export``      write the result as JSON or Graphviz DOT
+``verify``      re-derive and validate a decomposition (self-check)
+``datasets``    list the built-in synthetic stand-in datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.reporting import format_table
+from .core.api import EXACT_METHODS, nucleus_decomposition
+from .core.queries import HierarchyQueryIndex, hierarchy_statistics
+from .errors import ReproError
+from .export import decomposition_to_json, tree_to_dot
+from .graphs.datasets import dataset_names, dataset_spec, load_dataset
+from .graphs.io import read_edge_list
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("path", nargs="?", default=None,
+                        help="SNAP-style edge list file")
+    parser.add_argument("--dataset", default=None, metavar="NAME",
+                        help="use a built-in synthetic dataset instead of a file")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="scale factor for --dataset (default 1.0)")
+
+
+def _add_decomposition_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--r", type=int, default=2, help="r (default 2)")
+    parser.add_argument("--s", type=int, default=3, help="s (default 3)")
+    parser.add_argument("--method", default="auto",
+                        choices=("auto",) + EXACT_METHODS,
+                        help="algorithm (default: the paper's auto rule)")
+    parser.add_argument("--approx", action="store_true",
+                        help="use APPROX-ARB-NUCLEUS (Algorithm 2)")
+    parser.add_argument("--delta", type=float, default=0.5,
+                        help="approximation parameter (default 0.5)")
+    parser.add_argument("--strategy", default="materialized",
+                        choices=("materialized", "reenum"),
+                        help="s-clique incidence strategy")
+
+
+def _load_graph(args: argparse.Namespace):
+    if (args.path is None) == (args.dataset is None):
+        raise ReproError("provide exactly one of: an edge-list path, "
+                         "or --dataset NAME")
+    if args.dataset is not None:
+        return load_dataset(args.dataset, scale=args.scale)
+    return read_edge_list(args.path, name=args.path)
+
+
+def _decompose(args: argparse.Namespace):
+    graph = _load_graph(args)
+    return nucleus_decomposition(
+        graph, args.r, args.s, method=args.method, approx=args.approx,
+        delta=args.delta, strategy=args.strategy)
+
+
+def cmd_decompose(args: argparse.Namespace, out) -> int:
+    result = _decompose(args)
+    print(result.summary(), file=out)
+    if result.tree is not None:
+        stats = hierarchy_statistics(result.tree)
+        print(f"hierarchy: {stats.n_nuclei} nuclei on {stats.n_levels} "
+              f"levels, height {stats.height}, "
+              f"largest nucleus {stats.largest_nucleus} r-cliques, "
+              f"mean branching {stats.mean_branching:.2f}", file=out)
+        best = result.densest_nucleus(min_vertices=3)
+        if best.n_vertices:
+            print(f"densest nucleus: {best.n_vertices} vertices at density "
+                  f"{best.density:.3f} (level {best.level:g})", file=out)
+    print(f"time: {result.seconds_total:.3f}s "
+          f"(predicted 30-core: {result.simulated_seconds(30):.3f}s)",
+          file=out)
+    return 0
+
+
+def cmd_nuclei(args: argparse.Namespace, out) -> int:
+    result = _decompose(args)
+    if args.level is not None:
+        groups = result.nuclei_at(args.level)
+        groups = [g for g in groups if len(g) >= args.min_vertices]
+        print(f"{len(groups)} nuclei at level {args.level:g}:", file=out)
+        for group in sorted(groups, key=len, reverse=True)[:args.top]:
+            print(f"  [{len(group)} vertices] "
+                  + " ".join(map(str, group[:30]))
+                  + (" ..." if len(group) > 30 else ""), file=out)
+        return 0
+    index = HierarchyQueryIndex(result)
+    rows = [(f"{c.level:g}", len(c), c.n_r_cliques, f"{c.density:.3f}",
+             " ".join(map(str, c.vertices[:12]))
+             + (" ..." if len(c) > 12 else ""))
+            for c in index.top_k_densest(args.top,
+                                         min_vertices=args.min_vertices)]
+    print(format_table(("level", "|V|", "r-cliques", "density", "vertices"),
+                       rows, title=f"top {args.top} densest nuclei"),
+          file=out)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace, out) -> int:
+    result = _decompose(args)
+    if args.format == "json":
+        text = decomposition_to_json(result)
+    else:
+        text = tree_to_dot(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.format} to {args.output}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace, out) -> int:
+    from .core.validation import verify_decomposition
+    result = _decompose(args)
+    report = verify_decomposition(result, max_levels=args.max_levels)
+    print(report, file=out)
+    return 0 if report.ok else 1
+
+
+def cmd_datasets(args: argparse.Namespace, out) -> int:
+    rows = []
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        graph = load_dataset(name, scale=args.scale)
+        rows.append((name, spec.paper_n, spec.paper_m, graph.n, graph.m,
+                     spec.description))
+    print(format_table(
+        ("name", "paper n", "paper m", "stand-in n", "stand-in m", "notes"),
+        rows, title="built-in synthetic stand-ins (paper Table 1)"),
+        file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="(r, s) nucleus decomposition with hierarchy "
+                    "(SIGMOD 2024 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("decompose", help="run a decomposition")
+    _add_input_arguments(p)
+    _add_decomposition_arguments(p)
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("nuclei", help="print nuclei at a level / densest")
+    _add_input_arguments(p)
+    _add_decomposition_arguments(p)
+    p.add_argument("--level", type=float, default=None,
+                   help="cut level (omit for the densest nuclei)")
+    p.add_argument("--top", type=int, default=10,
+                   help="max nuclei to print (default 10)")
+    p.add_argument("--min-vertices", type=int, default=3,
+                   help="hide nuclei smaller than this (default 3)")
+    p.set_defaults(func=cmd_nuclei)
+
+    p = sub.add_parser("export", help="export the result")
+    _add_input_arguments(p)
+    _add_decomposition_arguments(p)
+    p.add_argument("--format", choices=("json", "dot"), default="json")
+    p.add_argument("-o", "--output", default=None,
+                   help="output path (default: stdout)")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("verify", help="validate a decomposition end-to-end")
+    _add_input_arguments(p)
+    _add_decomposition_arguments(p)
+    p.add_argument("--max-levels", type=int, default=None,
+                   help="cap the per-level hierarchy checks")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("datasets", help="list built-in datasets")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_datasets)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,187 @@
+"""s-clique <-> r-clique incidence: the peeling algorithms' working set.
+
+Peeling needs two queries:
+
+* the initial s-clique degree of every r-clique (Algorithm 2/3, line 5);
+* for a given r-clique ``R``, the s-cliques containing ``R`` together with
+  their other member r-cliques (the update loop, lines 12-15).
+
+Two strategies are provided behind one interface:
+
+* :class:`MaterializedIncidence` stores every s-clique's member-id tuple
+  and a per-r-clique postings list. Space is proportional to the number of
+  s-cliques -- the variant the paper's work bound assumes ("the version of
+  their algorithm that takes space proportional to the number of s-cliques
+  in G", proof of Theorem 5.1).
+* :class:`ReEnumIncidence` stores only degrees and re-enumerates the
+  s-cliques containing ``R`` on demand by extending ``R`` inside the common
+  neighborhood of its vertices -- the space-lean alternative the paper's
+  practical sections discuss. Same results, different time/space tradeoff
+  (compared head-to-head in ``benchmarks/bench_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import ParameterError
+from ..parallel.counters import NullCounter, WorkSpanCounter, log2_ceil
+from ..graphs.graph import Graph
+from ..graphs.orientation import Orientation, arb_orient
+from .enumeration import Clique, cliques_containing, enumerate_cliques
+from .index import CliqueIndex
+
+MemberTuple = Tuple[int, ...]
+
+
+def validate_rs(r: int, s: int) -> None:
+    """Check the (r, s) parameter contract: ``1 <= r < s``."""
+    if r < 1:
+        raise ParameterError(f"r must be >= 1, got {r}")
+    if s <= r:
+        raise ParameterError(f"s must be > r, got r={r}, s={s}")
+
+
+class MaterializedIncidence:
+    """Incidence with all s-cliques stored (space ~ number of s-cliques)."""
+
+    strategy = "materialized"
+
+    def __init__(self, graph: Graph, orientation: Orientation,
+                 index: CliqueIndex, s: int,
+                 counter: Optional[WorkSpanCounter] = None) -> None:
+        counter = counter if counter is not None else NullCounter()
+        validate_rs(index.r, s)
+        self.graph = graph
+        self.orientation = orientation
+        self.index = index
+        self.r = index.r
+        self.s = s
+        self.s_choose_r = comb(s, index.r)
+        members: List[MemberTuple] = []
+        postings: List[List[int]] = [[] for _ in index.ids()]
+        for s_clique in enumerate_cliques(orientation, s, counter):
+            sid = len(members)
+            member_ids = tuple(index.id_of(sub)
+                               for sub in combinations(s_clique, index.r))
+            members.append(member_ids)
+            for rid in member_ids:
+                postings[rid].append(sid)
+        self._members = members
+        self._postings = [tuple(p) for p in postings]
+        counter.add_parallel(len(members) * self.s_choose_r + 1,
+                             1 + log2_ceil(max(len(members), 1)))
+
+    @property
+    def n_r(self) -> int:
+        return len(self.index)
+
+    @property
+    def n_s(self) -> int:
+        return len(self._members)
+
+    def initial_degrees(self) -> List[int]:
+        return [len(p) for p in self._postings]
+
+    def members(self, sid: int) -> MemberTuple:
+        """Member r-clique ids of s-clique ``sid``."""
+        return self._members[sid]
+
+    def s_clique_ids_of(self, rid: int) -> Tuple[int, ...]:
+        """Ids of the s-cliques containing r-clique ``rid``."""
+        return self._postings[rid]
+
+    def s_cliques_containing(self, rid: int) -> Iterator[MemberTuple]:
+        """Member tuples of every s-clique containing ``rid``."""
+        for sid in self._postings[rid]:
+            yield self._members[sid]
+
+    def iter_s_cliques(self) -> Iterator[MemberTuple]:
+        """All s-cliques as member-id tuples (Algorithm 1, line 6)."""
+        return iter(self._members)
+
+    def memory_units(self) -> int:
+        """Integers held (the memory-overhead proxy used by Section 8.1)."""
+        return sum(len(m) for m in self._members) + \
+            sum(len(p) for p in self._postings)
+
+
+class ReEnumIncidence:
+    """Incidence that re-enumerates s-cliques on demand (space ~ n_r)."""
+
+    strategy = "reenum"
+
+    def __init__(self, graph: Graph, orientation: Orientation,
+                 index: CliqueIndex, s: int,
+                 counter: Optional[WorkSpanCounter] = None) -> None:
+        counter = counter if counter is not None else NullCounter()
+        validate_rs(index.r, s)
+        self.graph = graph
+        self.orientation = orientation
+        self.index = index
+        self.r = index.r
+        self.s = s
+        self.s_choose_r = comb(s, index.r)
+        degrees = [0] * len(index)
+        n_s = 0
+        for s_clique in enumerate_cliques(orientation, s, counter):
+            n_s += 1
+            for sub in combinations(s_clique, index.r):
+                degrees[index.id_of(sub)] += 1
+        self._degrees = degrees
+        self._n_s = n_s
+        counter.add_parallel(n_s * self.s_choose_r + 1,
+                             1 + log2_ceil(max(n_s, 1)))
+
+    @property
+    def n_r(self) -> int:
+        return len(self.index)
+
+    @property
+    def n_s(self) -> int:
+        return self._n_s
+
+    def initial_degrees(self) -> List[int]:
+        return list(self._degrees)
+
+    def s_cliques_containing(self, rid: int) -> Iterator[MemberTuple]:
+        """Re-enumerate the s-cliques containing ``rid``."""
+        base = self.index.clique_of(rid)
+        for s_clique in cliques_containing(self.graph, base, self.s - self.r):
+            yield tuple(self.index.id_of(sub)
+                        for sub in combinations(s_clique, self.r))
+
+    def iter_s_cliques(self) -> Iterator[MemberTuple]:
+        for s_clique in enumerate_cliques(self.orientation, self.s):
+            yield tuple(self.index.id_of(sub)
+                        for sub in combinations(s_clique, self.r))
+
+    def memory_units(self) -> int:
+        return len(self._degrees)
+
+
+def build_incidence(graph: Graph, r: int, s: int,
+                    strategy: str = "materialized",
+                    counter: Optional[WorkSpanCounter] = None,
+                    orientation: Optional[Orientation] = None):
+    """Orient the graph, index the r-cliques, and build the incidence.
+
+    Returns ``(orientation, index, incidence)`` -- the common preamble of
+    every decomposition algorithm (Algorithm 2/3, lines 3-5).
+    """
+    validate_rs(r, s)
+    counter = counter if counter is not None else NullCounter()
+    if orientation is None:
+        orientation = arb_orient(graph, counter=counter)
+    index = CliqueIndex.from_orientation(orientation, r, counter)
+    if strategy == "materialized":
+        incidence = MaterializedIncidence(graph, orientation, index, s, counter)
+    elif strategy == "reenum":
+        incidence = ReEnumIncidence(graph, orientation, index, s, counter)
+    else:
+        raise ParameterError(
+            f"unknown incidence strategy {strategy!r}; "
+            f"expected 'materialized' or 'reenum'")
+    return orientation, index, incidence

@@ -1,0 +1,47 @@
+"""Core contribution: nucleus decomposition and hierarchy construction.
+
+Algorithm map (paper -> module):
+
+* ``ARB-NUCLEUS`` (coreness peeling)          -> :mod:`repro.core.nucleus`
+* ``APPROX-ARB-NUCLEUS`` (Algorithm 2)        -> :mod:`repro.core.approx`
+* ``ARB-NUCLEUS-HIERARCHY`` (Algorithm 1)     -> :mod:`repro.core.hierarchy_te`
+* framework (Algorithm 3)                     -> :mod:`repro.core.framework`
+* ``LINK-BASIC`` (Algorithm 4)                -> :mod:`repro.core.link_basic`
+* ``LINK-EFFICIENT`` (Algorithm 5)            -> :mod:`repro.core.link_efficient`
+* hierarchy tree + result objects             -> :mod:`repro.core.tree`,
+                                                 :mod:`repro.core.decomposition`
+* public façade                               -> :mod:`repro.core.api`
+"""
+
+from .api import choose_method, k_core, k_truss, nucleus_decomposition
+from .approx import (approx_anh_bl, approx_anh_el, approx_anh_te,
+                     approx_arb_nucleus, approximation_bound, peel_approx)
+from .decomposition import NucleusDecomposition
+from .densest import (DensestResult, exact_density, k_clique_densest,
+                      k_clique_densest_parallel)
+from .framework import InterleavedResult, anh_bl, anh_el, run_interleaved
+from .hierarchy_te import hierarchy_te_practical, hierarchy_te_theoretical
+from .link_basic import LinkBasic
+from .link_efficient import LinkEfficient
+from .nucleus import (CorenessResult, NucleusInput, arb_nucleus, peel_exact,
+                      prepare)
+from .queries import (Community, HierarchyQueryIndex, HierarchyStatistics,
+                      hierarchy_statistics)
+from .validation import ValidationReport, verify_decomposition
+from .tree import (HierarchyTree, HierarchyTreeBuilder,
+                   tree_from_partition_chain)
+
+__all__ = [
+    "choose_method", "k_core", "k_truss", "nucleus_decomposition",
+    "approx_anh_bl", "approx_anh_el", "approx_anh_te", "approx_arb_nucleus",
+    "approximation_bound", "peel_approx", "NucleusDecomposition",
+    "DensestResult", "exact_density", "k_clique_densest",
+    "k_clique_densest_parallel",
+    "InterleavedResult", "anh_bl", "anh_el", "run_interleaved",
+    "hierarchy_te_practical", "hierarchy_te_theoretical", "LinkBasic",
+    "LinkEfficient", "CorenessResult", "NucleusInput", "arb_nucleus",
+    "peel_exact", "prepare", "HierarchyTree", "HierarchyTreeBuilder",
+    "tree_from_partition_chain", "Community", "HierarchyQueryIndex",
+    "HierarchyStatistics", "hierarchy_statistics", "ValidationReport",
+    "verify_decomposition",
+]

@@ -1,0 +1,172 @@
+"""Public façade: one call for any (r, s) nucleus decomposition.
+
+``nucleus_decomposition(graph, r, s)`` runs the full pipeline -- orient,
+enumerate, peel, build the hierarchy -- with the algorithm selected by
+``method``:
+
+=================  ====================================================
+``"anh-el"``       interleaved peel + ``LINK-EFFICIENT`` (Algorithm 5);
+                   the paper's recommendation when ``s - r <= 2``
+                   (default)
+``"anh-te"``       two-phase: coreness then the Section 7.4 practical
+                   hierarchy; the paper's recommendation otherwise
+``"anh-te-theory"``  the faithful Algorithm 1 construction
+``"anh-bl"``       interleaved peel + ``LINK-BASIC`` (Algorithm 4)
+``"nh"``           sequential Sariyüce-Pinar baseline
+``"naive"``        per-level connectivity (the oracle / vanilla baseline)
+=================  ====================================================
+
+``approx=True`` swaps the exact peeling for ``APPROX-ARB-NUCLEUS``
+(Algorithm 2) with parameter ``delta``, yielding
+``(comb(s,r)+eps)``-approximate coreness estimates and an approximate
+hierarchy (``ARB-APPROX-NUCLEUS-HIERARCHY``).
+
+``auto`` picks between anh-el and anh-te using the paper's empirical rule
+(Section 8.1): anh-el when ``s - r <= 2`` except for (1, 2), else anh-te.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..errors import ParameterError
+from ..graphs.graph import Graph
+from ..parallel.counters import WorkSpanCounter
+from .approx import (approx_anh_bl, approx_anh_el, approx_anh_te, peel_approx)
+from .decomposition import NucleusDecomposition
+from .framework import InterleavedResult, anh_bl, anh_el
+from .hierarchy_te import hierarchy_te_practical, hierarchy_te_theoretical
+from .nucleus import peel_exact, prepare
+
+EXACT_METHODS = ("anh-el", "anh-te", "anh-te-theory", "anh-bl", "nh", "naive")
+
+
+def choose_method(r: int, s: int) -> str:
+    """The paper's Section 8.1 selection rule between ANH-EL and ANH-TE."""
+    if (r, s) == (1, 2):
+        return "anh-te"
+    return "anh-el" if s - r <= 2 else "anh-te"
+
+
+def nucleus_decomposition(graph: Graph, r: int, s: int,
+                          method: str = "auto",
+                          hierarchy: bool = True,
+                          approx: bool = False,
+                          delta: float = 0.5,
+                          strategy: str = "materialized",
+                          counter: Optional[WorkSpanCounter] = None,
+                          seed: int = 0) -> NucleusDecomposition:
+    """Compute the (r, s) nucleus decomposition of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    r, s:
+        Nucleus parameters, ``1 <= r < s``. (1, 2) is k-core, (2, 3) is
+        k-truss.
+    method:
+        Algorithm selector (see module docstring); ``"auto"`` applies the
+        paper's empirical rule.
+    hierarchy:
+        When ``False``, only core numbers are computed (``ARB-NUCLEUS`` /
+        ``APPROX-ARB-NUCLEUS``) and ``result.tree`` is ``None``.
+    approx:
+        Use the approximate peeling (Algorithm 2) with parameter ``delta``.
+    strategy:
+        s-clique incidence strategy: ``"materialized"`` (space ~ n_s,
+        the default) or ``"reenum"`` (space ~ n_r, recompute on demand).
+    counter:
+        Optional work-span counter; a fresh one is used if omitted.
+    seed:
+        Seed for the randomized union-find priorities.
+    """
+    if method == "auto":
+        method = choose_method(r, s)
+    if method not in EXACT_METHODS:
+        raise ParameterError(
+            f"unknown method {method!r}; expected one of "
+            f"{('auto',) + EXACT_METHODS}")
+    if approx and delta <= 0:
+        raise ParameterError(f"delta must be > 0, got {delta}")
+    counter = counter if counter is not None else WorkSpanCounter()
+
+    t_start = time.perf_counter()
+    prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    t_prepared = time.perf_counter()
+
+    if not hierarchy:
+        if approx:
+            coreness = peel_approx(prepared.incidence, delta, counter=counter)
+        else:
+            coreness = peel_exact(prepared.incidence, counter=counter)
+        result = NucleusDecomposition(
+            graph=graph, r=r, s=s, method="coreness-only",
+            index=prepared.index, coreness=coreness, tree=None,
+            stats=dict(coreness.stats),
+            approx_delta=delta if approx else None)
+    else:
+        run = _run_hierarchy(graph, r, s, method, approx, delta, prepared,
+                             counter, seed)
+        result = NucleusDecomposition(
+            graph=graph, r=r, s=s, method=method,
+            index=prepared.index, coreness=run.coreness, tree=run.tree,
+            stats=dict(run.stats),
+            approx_delta=delta if approx else None)
+    t_end = time.perf_counter()
+    result.seconds_prepare = t_prepared - t_start
+    result.seconds_total = t_end - t_start
+    return result
+
+
+def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
+                   delta: float, prepared, counter: WorkSpanCounter,
+                   seed: int) -> InterleavedResult:
+    if approx:
+        if method == "anh-el":
+            return approx_anh_el(graph, r, s, delta=delta, prepared=prepared,
+                                 counter=counter, seed=seed)
+        if method == "anh-bl":
+            return approx_anh_bl(graph, r, s, delta=delta, prepared=prepared,
+                                 counter=counter, seed=seed)
+        if method == "anh-te":
+            return approx_anh_te(graph, r, s, delta=delta, prepared=prepared,
+                                 counter=counter, seed=seed)
+        if method == "anh-te-theory":
+            return approx_anh_te(graph, r, s, delta=delta, prepared=prepared,
+                                 counter=counter, theoretical=True, seed=seed)
+        raise ParameterError(
+            f"method {method!r} has no approximate variant; use one of "
+            f"anh-el / anh-bl / anh-te / anh-te-theory")
+    if method == "anh-el":
+        return anh_el(graph, r, s, prepared=prepared, counter=counter,
+                      seed=seed)
+    if method == "anh-bl":
+        return anh_bl(graph, r, s, prepared=prepared, counter=counter,
+                      seed=seed)
+    if method == "anh-te":
+        return hierarchy_te_practical(graph, r, s, prepared=prepared,
+                                      counter=counter, seed=seed)
+    if method == "anh-te-theory":
+        return hierarchy_te_theoretical(graph, r, s, prepared=prepared,
+                                        counter=counter)
+    if method == "nh":
+        from ..baselines.nh import nh as run_nh
+        out = run_nh(graph, r, s, prepared=prepared)
+        return InterleavedResult(out.coreness, out.tree, out.stats)
+    # method == "naive"
+    from ..baselines.naive_hierarchy import naive_hierarchy
+    coreness = peel_exact(prepared.incidence, counter=counter)
+    tree = naive_hierarchy(prepared.incidence, coreness.core, counter=counter)
+    return InterleavedResult(coreness, tree, dict(coreness.stats))
+
+
+def k_core(graph: Graph, **kwargs) -> NucleusDecomposition:
+    """The (1, 2) nucleus decomposition (classic k-core)."""
+    return nucleus_decomposition(graph, 1, 2, **kwargs)
+
+
+def k_truss(graph: Graph, **kwargs) -> NucleusDecomposition:
+    """The (2, 3) nucleus decomposition (classic k-truss)."""
+    return nucleus_decomposition(graph, 2, 3, **kwargs)

@@ -1,0 +1,213 @@
+"""``APPROX-ARB-NUCLEUS`` (Algorithm 2) and the approximate hierarchies.
+
+The exact peeling's span is ``O(rho * log n)`` and the peeling complexity
+``rho`` can be huge. The approximate algorithm peels *ranges* of degrees:
+bucket ``B_i`` covers degrees in ``[(C+d)(1+d)^i, (C+d)(1+d)^(i+1))`` with
+``C = comb(s, r)`` and ``d = delta``, each bucket is processed at most
+``O(log_{1+d/C} n)`` rounds, and cliques whose degree falls below the
+active range are simply peeled with it. Theorem 6.3: the estimates are a
+``(C + eps)``-approximation (``(C+d)(1+d)`` multiplicative) of the true
+core numbers, in ``O(m * alpha^(s-2))`` work and ``O(log^3 n)`` span.
+
+A peeled clique's estimate is the upper bound of its bucket, improved in
+practice to ``min(upper bound, original s-clique degree)`` (Section 6).
+
+The hierarchy variants (``APPROX-ANH-*``) reuse the exact machinery with
+the estimates in place of core numbers: the same LINK call discipline holds
+(estimates are final when a clique is peeled), so Algorithms 1, 4, and 5
+apply unchanged -- exactly how the paper composes
+``ARB-APPROX-NUCLEUS-HIERARCHY``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from ..ds.approx_bucketing import GeometricBucketQueue
+from ..errors import ParameterError
+from ..graphs.graph import Graph
+from ..parallel.counters import (NullCounter, WorkSpanCounter, log2_ceil)
+from .framework import InterleavedResult, run_interleaved
+from .link_basic import LinkBasic
+from .link_efficient import LinkEfficient
+from .nucleus import CorenessResult, LinkFn, NucleusInput, prepare
+from .tree import HierarchyTree
+
+
+def peel_approx(incidence, delta: float,
+                counter: Optional[WorkSpanCounter] = None,
+                link: Optional[LinkFn] = None,
+                core_out: Optional[List[float]] = None,
+                round_cap: Optional[int] = None) -> CorenessResult:
+    """Approximate peeling over a prebuilt incidence (Algorithm 2).
+
+    Same alive/decrement/link discipline as
+    :func:`~repro.core.nucleus.peel_exact`; only the bucketing changes.
+    """
+    if delta <= 0:
+        raise ParameterError(f"delta must be > 0, got {delta}")
+    counter = counter if counter is not None else NullCounter()
+    n_r = incidence.n_r
+    original = incidence.initial_degrees()
+    queue = GeometricBucketQueue(original, incidence.s_choose_r, delta,
+                                 round_cap=round_cap)
+    if core_out is None:
+        core: List[float] = [0.0] * n_r
+    else:
+        if len(core_out) != n_r:
+            raise ParameterError(
+                f"core_out has length {len(core_out)}, expected {n_r}")
+        core = core_out
+        for i in range(n_r):
+            core[i] = 0.0
+    alive = [True] * n_r
+    link_calls = 0
+    n_log = log2_ceil(max(n_r, 1))
+    while not queue.empty:
+        upper, batch = queue.next_round()                  # lines 8-11
+        round_work = len(batch)
+        for rid in batch:
+            # Bucket upper bound, refined by the original degree (Sec. 6).
+            core[rid] = min(upper, float(original[rid]))   # line 16
+        for rid in batch:
+            for members in incidence.s_cliques_containing(rid):  # line 13
+                round_work += len(members)
+                others = [x for x in members if x != rid]
+                if all(alive[o] for o in others):
+                    for other in others:
+                        if queue.alive(other):
+                            queue.decrement(other)         # line 15
+                else:
+                    if link is not None:
+                        for other in others:
+                            if not alive[other]:
+                                link(other, rid)
+                                link_calls += 1
+            alive[rid] = False
+        counter.add_parallel(round_work, 1 + n_log)
+    return CorenessResult(
+        core=core,
+        rho=queue.rounds,
+        k_max=max(core, default=0.0),
+        n_r=n_r,
+        n_s=incidence.n_s,
+        work_span=counter.snapshot(),
+        stats={
+            "bucket_updates": float(queue.updates),
+            "bucket_promotions": float(queue.bucket_promotions),
+            "round_cap": float(queue.round_cap),
+            "link_calls": float(link_calls),
+        },
+    )
+
+
+def approx_arb_nucleus(graph: Graph, r: int, s: int, delta: float = 0.5,
+                       strategy: str = "materialized",
+                       counter: Optional[WorkSpanCounter] = None,
+                       prepared: Optional[NucleusInput] = None,
+                       round_cap: Optional[int] = None) -> CorenessResult:
+    """Approximate (r, s)-clique core estimates (``APPROX-ARB-NUCLEUS``)."""
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    return peel_approx(prepared.incidence, delta, counter=counter,
+                       round_cap=round_cap)
+
+
+def approximation_bound(s_choose_r: int, delta: float) -> float:
+    """The proven multiplicative factor ``(C + delta) * (1 + delta)``."""
+    return (s_choose_r + delta) * (1.0 + delta)
+
+
+def _basic_levels(incidence, delta: float) -> List[float]:
+    """A level universe covering every possible approximate estimate.
+
+    Estimates are ``min(bucket upper bound, original degree)``, so the
+    distinct positive degrees plus every geometric bucket boundary up to
+    the maximum degree cover all values an estimate can take. ANH-BL
+    allocates one union-find per candidate level -- over-allocation that is
+    faithful to its memory profile (Section 8.1).
+    """
+    from ..ds.approx_bucketing import bucket_of_degree, bucket_upper_bound
+    degrees = incidence.initial_degrees()
+    levels = {float(d) for d in degrees if d > 0}
+    max_degree = max(degrees, default=0)
+    if max_degree > 0:
+        base = incidence.s_choose_r + delta
+        growth = 1.0 + delta
+        top = bucket_of_degree(max_degree, base, growth)
+        for i in range(top + 2):
+            upper = bucket_upper_bound(i, base, growth)
+            if upper <= max_degree:
+                levels.add(upper)
+    return sorted(levels)
+
+
+def approx_anh_el(graph: Graph, r: int, s: int, delta: float = 0.5,
+                  strategy: str = "materialized",
+                  counter: Optional[WorkSpanCounter] = None,
+                  prepared: Optional[NucleusInput] = None,
+                  round_cap: Optional[int] = None,
+                  seed: int = 0) -> InterleavedResult:
+    """APPROX-ANH-EL: approximate peeling interleaved with Algorithm 5."""
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+
+    def peel(incidence, counter=None, link=None, core_out=None):
+        return peel_approx(incidence, delta, counter=counter, link=link,
+                           core_out=core_out, round_cap=round_cap)
+
+    return run_interleaved(prepared,
+                           lambda core: LinkEfficient(core, seed=seed),
+                           counter, peel=peel)
+
+
+def approx_anh_bl(graph: Graph, r: int, s: int, delta: float = 0.5,
+                  strategy: str = "materialized",
+                  counter: Optional[WorkSpanCounter] = None,
+                  prepared: Optional[NucleusInput] = None,
+                  round_cap: Optional[int] = None,
+                  seed: int = 0) -> InterleavedResult:
+    """APPROX-ANH-BL: approximate peeling interleaved with Algorithm 4."""
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    levels = _basic_levels(prepared.incidence, delta)
+
+    def peel(incidence, counter=None, link=None, core_out=None):
+        return peel_approx(incidence, delta, counter=counter, link=link,
+                           core_out=core_out, round_cap=round_cap)
+
+    return run_interleaved(prepared,
+                           lambda core: LinkBasic(core, levels=levels,
+                                                  seed=seed),
+                           counter, peel=peel)
+
+
+def approx_anh_te(graph: Graph, r: int, s: int, delta: float = 0.5,
+                  strategy: str = "materialized",
+                  counter: Optional[WorkSpanCounter] = None,
+                  prepared: Optional[NucleusInput] = None,
+                  round_cap: Optional[int] = None,
+                  theoretical: bool = False,
+                  seed: int = 0) -> InterleavedResult:
+    """APPROX-ANH-TE: approximate coreness, then the two-phase hierarchy.
+
+    ``theoretical=True`` selects the faithful Algorithm 1 construction;
+    the default is the practical Section 7.4 variant (as benchmarked).
+    """
+    from .hierarchy_te import (hierarchy_te_practical,
+                               hierarchy_te_theoretical)
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    coreness = peel_approx(prepared.incidence, delta, counter=counter,
+                           round_cap=round_cap)
+    if theoretical:
+        return hierarchy_te_theoretical(graph, r, s, prepared=prepared,
+                                        coreness=coreness, counter=counter)
+    return hierarchy_te_practical(graph, r, s, prepared=prepared,
+                                  coreness=coreness, counter=counter,
+                                  seed=seed)

@@ -1,0 +1,101 @@
+"""Interleaved hierarchy framework (Algorithm 3) -- ANH-EL / ANH-BL.
+
+``ARB-NUCLEUS-DECOMP-HIERARCHY-FRAMEWORK`` computes core numbers and the
+hierarchy in a *single* peeling pass: while peeling r-clique ``R``, the
+loop over its s-cliques already visits every s-clique-adjacent ``R'``; if
+``R'`` was peeled no later than ``R`` their core numbers are final and the
+pair goes to ``LINK``, otherwise ``R'`` loses an s-clique (lines 12-16).
+
+The peeling engine (:func:`repro.core.nucleus.peel_exact`) provides exactly
+that call discipline; this module plugs in the two LINK strategies and runs
+``CONSTRUCT-TREE`` afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..parallel.counters import WorkSpanCounter
+from ..graphs.graph import Graph
+from .link_basic import LinkBasic
+from .link_efficient import LinkEfficient
+from .nucleus import CorenessResult, NucleusInput, peel_exact, prepare
+from .tree import HierarchyTree
+
+
+class InterleavedResult:
+    """Coreness + hierarchy + statistics from one interleaved run."""
+
+    def __init__(self, coreness: CorenessResult, tree: HierarchyTree,
+                 stats: Dict[str, float]) -> None:
+        self.coreness = coreness
+        self.tree = tree
+        self.stats = stats
+
+
+def run_interleaved(prepared: NucleusInput, make_link: Callable,
+                    counter: Optional[WorkSpanCounter],
+                    peel: Callable = peel_exact) -> InterleavedResult:
+    """Drive one interleaved decomposition: peel with LINK, then build."""
+    counter = counter if counter is not None else WorkSpanCounter()
+    n_r = prepared.n_r
+    # The LINK structures need the (final) core number of any peeled clique;
+    # the peeling fills this array in place as cliques are peeled, and the
+    # framework's call discipline guarantees LINK only reads final entries.
+    core_live = [0.0] * n_r
+    link_impl = make_link(core_live)
+
+    def on_link(r_early: int, r_late: int) -> None:
+        link_impl.link(r_early, r_late)
+
+    t0 = time.perf_counter()
+    result = peel(prepared.incidence, counter=counter, link=on_link,
+                  core_out=core_live)
+    t1 = time.perf_counter()
+    tree = link_impl.construct_tree()
+    t2 = time.perf_counter()
+    stats = dict(result.stats)
+    stats.update(link_impl.stats())
+    stats["seconds_coreness"] = t1 - t0
+    stats["seconds_tree"] = t2 - t1
+    return InterleavedResult(result, tree, stats)
+
+
+def anh_el(graph: Graph, r: int, s: int,
+           strategy: str = "materialized",
+           counter: Optional[WorkSpanCounter] = None,
+           prepared: Optional[NucleusInput] = None,
+           seed: int = 0) -> InterleavedResult:
+    """ANH-EL: interleaved framework with ``LINK-EFFICIENT`` (Algorithm 5)."""
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    return run_interleaved(prepared,
+                           lambda core: LinkEfficient(core, seed=seed),
+                           counter)
+
+
+def anh_bl(graph: Graph, r: int, s: int,
+           strategy: str = "materialized",
+           counter: Optional[WorkSpanCounter] = None,
+           prepared: Optional[NucleusInput] = None,
+           seed: int = 0) -> InterleavedResult:
+    """ANH-BL: interleaved framework with ``LINK-BASIC`` (Algorithm 4).
+
+    The per-level union-finds need the level universe up front; for the
+    exact decomposition the levels are the integers ``1..k`` where ``k``
+    is bounded by the maximum initial s-clique degree, so the structure is
+    sized from the degrees (over-allocation mirrors the paper's memory
+    complaint about ANH-BL).
+    """
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    max_possible = max(prepared.incidence.initial_degrees(), default=0)
+    levels = [float(i) for i in range(1, int(max_possible) + 1)]
+
+    def make(core):
+        return LinkBasic(core, levels=levels, seed=seed)
+
+    return run_interleaved(prepared, make, counter)

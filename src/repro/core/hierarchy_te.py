@@ -1,0 +1,348 @@
+"""``ARB-NUCLEUS-HIERARCHY`` (Algorithm 1) -- the two-phase ANH-TE.
+
+Phase one computes core numbers with ``ARB-NUCLEUS``; phase two builds the
+hierarchy bottom-up, one level per round. Two variants are provided:
+
+* :func:`hierarchy_te_theoretical` -- the faithful Algorithm 1: per-level
+  hash tables ``L_i`` of concatenable linked lists, pointer-jumping list
+  ranking to materialize the level graph ``H``, hook-and-contract
+  linear-work connectivity, and O(1) list concatenation to push
+  connectivity information down to lower levels. This is the
+  work-efficient construction of Theorem 5.1.
+
+  One presentational difference from the pseudocode: line 19's
+  concatenation is performed *eagerly*, re-keying each merged clique's
+  lists to the component representative immediately, which makes line 13's
+  ``ID_i`` relabeling a no-op -- the two bookkeeping schemes are
+  equivalent (the paper's own worked example describes the lazy-relabeling
+  alternative). Eager re-keying preserves the crucial invariant that every
+  linked list is traversed once and concatenated at most once, enforced at
+  runtime by :class:`~repro.ds.linked_list.CatList`'s tombstones.
+
+* :func:`hierarchy_te_practical` -- the Section 7.4 production variant the
+  paper benchmarks as ANH-TE: no materialized linked lists; instead the
+  r-cliques are sorted by core number and a *single* union-find accumulates
+  connectivity level by level, uniting each level's cliques with their
+  s-clique-adjacent neighbors of core at least that level.
+
+Both produce trees with identical partition chains (tested).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ds.linked_list import CatList
+from ..ds.union_find import ConcurrentUnionFind
+from ..parallel.hashtable import ParallelHashTable
+from ..graphs.connectivity import connected_components_edges
+from ..graphs.graph import Graph
+from ..parallel.counters import WorkSpanCounter, log2_ceil
+from ..parallel.primitives import par_sort
+from .framework import InterleavedResult
+from .nucleus import CorenessResult, NucleusInput, peel_exact, prepare
+from .tree import HierarchyTree, HierarchyTreeBuilder
+
+
+def _pairs_by_level(incidence, core: List[float]):
+    """Yield (level, key, element) for every s-clique-adjacent pair.
+
+    ``key`` is the higher-core clique, ``element`` the lower-core one, and
+    ``level`` the element's core number (Algorithm 1, lines 6-8). Pairs
+    whose minimum core is zero carry no hierarchy information and are
+    dropped (the main loop only visits levels ``k .. 1``).
+    """
+    for members in incidence.iter_s_cliques():
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if core[a] <= core[b]:
+                    element, key = a, b
+                else:
+                    element, key = b, a
+                if core[element] > 0:
+                    yield core[element], key, element
+
+
+def hierarchy_te_theoretical(graph: Graph, r: int, s: int,
+                             strategy: str = "materialized",
+                             counter: Optional[WorkSpanCounter] = None,
+                             prepared: Optional[NucleusInput] = None,
+                             coreness: Optional[CorenessResult] = None,
+                             relabel: str = "eager") -> InterleavedResult:
+    """Faithful Algorithm 1 (see module docstring).
+
+    ``relabel`` selects the equivalent bookkeeping scheme for pushing
+    component information to lower levels:
+
+    * ``"eager"`` (default) -- perform line 19's concatenation
+      immediately, re-keying merged cliques' lists to the component
+      representative (``ID_i`` relabeling becomes a no-op);
+    * ``"lazy"`` -- keep lists under their original keys and resolve each
+      key through an ``ID`` map (line 13's relabeling) when its level is
+      processed; this is the scheme the paper's worked example narrates.
+
+    Both produce identical trees (cross-tested).
+    """
+    if relabel == "lazy":
+        return _hierarchy_algorithm1_lazy(graph, r, s, strategy=strategy,
+                                          counter=counter, prepared=prepared,
+                                          coreness=coreness)
+    if relabel != "eager":
+        raise ValueError(f"relabel must be 'eager' or 'lazy', got {relabel!r}")
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    t0 = time.perf_counter()
+    if coreness is None:
+        coreness = peel_exact(prepared.incidence, counter=counter)   # line 3
+    core = coreness.core
+    t1 = time.perf_counter()
+
+    # Lines 5-8: per-level tables of linked lists. L[level][key] holds the
+    # elements (core == level) adjacent to key (core >= level). The inner
+    # tables are genuine parallel hash tables (CAS-claimed slots [25]).
+    tables: Dict[float, ParallelHashTable] = {}
+    n_pairs = 0
+    for level, key, element in _pairs_by_level(prepared.incidence, core):
+        table = tables.get(level)
+        if table is None:
+            table = ParallelHashTable(counter=counter)
+            tables[level] = table
+        lst = table.get(key)
+        if lst is None:
+            lst = table.setdefault(key, CatList())
+        lst.append(element)
+        n_pairs += 1
+    counter.add_parallel(n_pairs + 1, 1 + log2_ceil(max(n_pairs, 1)))
+
+    # key_levels[rid]: levels (below its core) where rid currently keys a
+    # list -- drives the eager concatenation without scanning all j < i.
+    key_levels: Dict[int, Set[float]] = {}
+    for level, table in tables.items():
+        for key in table:
+            key_levels.setdefault(key, set()).add(level)
+
+    builder = HierarchyTreeBuilder(core)                            # line 9
+    list_ranking_conversions = 0
+    concat_ops = 0
+    for level in sorted(tables, reverse=True):                      # line 12
+        table = tables[level]
+        # Lines 13-14: materialize each list as an array via list ranking;
+        # the level graph H has one edge per (key, element) pair.
+        edges: List[Tuple[int, int]] = []
+        for key, lst in table.items():
+            for element in lst.to_array_via_ranking(counter):
+                edges.append((key, element))
+            list_ranking_conversions += 1
+        if not edges:
+            continue
+        # Densify H's vertex ids for the connectivity routine.
+        vertex_ids = sorted({v for edge in edges for v in edge})
+        dense = {v: i for i, v in enumerate(vertex_ids)}
+        labels = connected_components_edges(
+            len(vertex_ids), [(dense[u], dense[v]) for u, v in edges],
+            counter)                                                # line 15
+        groups: Dict[int, List[int]] = {}
+        for v, rid in enumerate(vertex_ids):
+            groups.setdefault(labels[v], []).append(rid)
+        for members in groups.values():                             # line 16
+            if len(members) < 2:
+                continue
+            representative = min(members)
+            builder.merge(members, level, rep=representative)       # line 17
+            # Lines 18-20: push connectivity to lower levels by re-keying
+            # every member's lists to the representative (O(1) concats).
+            rep_levels = key_levels.setdefault(representative, set())
+            for rid in members:
+                if rid == representative:
+                    continue
+                for j in [lv for lv in key_levels.get(rid, ())if lv < level]:
+                    source = tables[j].pop(rid)
+                    target = tables[j].get(representative)
+                    if target is None:
+                        tables[j].set(representative, source)
+                    else:
+                        target.concat(source)                       # line 19
+                    rep_levels.add(j)
+                    concat_ops += 1
+                key_levels.pop(rid, None)
+        del tables[level]
+    tree = builder.build()                                          # line 21
+    t2 = time.perf_counter()
+    stats = dict(coreness.stats)
+    stats.update({
+        "pairs_inserted": float(n_pairs),
+        "list_ranking_conversions": float(list_ranking_conversions),
+        "concat_ops": float(concat_ops),
+        "memory_units": float(2 * n_pairs + 2 * prepared.n_r),
+        "seconds_coreness": t1 - t0,
+        "seconds_tree": t2 - t1,
+    })
+    return InterleavedResult(coreness, tree, stats)
+
+
+def _hierarchy_algorithm1_lazy(graph: Graph, r: int, s: int,
+                               strategy: str = "materialized",
+                               counter: Optional[WorkSpanCounter] = None,
+                               prepared: Optional[NucleusInput] = None,
+                               coreness: Optional[CorenessResult] = None
+                               ) -> InterleavedResult:
+    """Algorithm 1 with lazy ``ID`` relabeling (no list concatenation).
+
+    Lists stay under their original keys; at round ``i`` every key is
+    resolved through the component-representative map (the union of the
+    paper's ``ID_j`` tables, with path compression). Because rounds run
+    in descending level order, the single map always reflects exactly the
+    merges performed at levels above the one being processed, which is
+    what ``ID_i`` captures. Multiple keys of one component then simply
+    contribute their edges to the same resolved vertex -- connectivity is
+    unaffected, and each list is still traversed exactly once.
+    """
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    t0 = time.perf_counter()
+    if coreness is None:
+        coreness = peel_exact(prepared.incidence, counter=counter)
+    core = coreness.core
+    t1 = time.perf_counter()
+
+    tables: Dict[float, ParallelHashTable] = {}
+    n_pairs = 0
+    for level, key, element in _pairs_by_level(prepared.incidence, core):
+        table = tables.get(level)
+        if table is None:
+            table = ParallelHashTable(counter=counter)
+            tables[level] = table
+        lst = table.get(key)
+        if lst is None:
+            lst = table.setdefault(key, CatList())
+        lst.append(element)
+        n_pairs += 1
+    counter.add_parallel(n_pairs + 1, 1 + log2_ceil(max(n_pairs, 1)))
+
+    representative: Dict[int, int] = {}
+
+    def resolve(rid: int) -> int:
+        root = rid
+        while representative.get(root, root) != root:
+            root = representative[root]
+        while representative.get(rid, rid) != root:
+            representative[rid], rid = root, representative[rid]
+        return root
+
+    builder = HierarchyTreeBuilder(core)
+    relabel_resolutions = 0
+    for level in sorted(tables, reverse=True):                  # line 12
+        table = tables[level]
+        edges: List[Tuple[int, int]] = []
+        for key, lst in table.items():
+            resolved_key = resolve(key)                         # line 13
+            relabel_resolutions += 1
+            for element in lst.to_array_via_ranking(counter):   # line 14
+                edges.append((resolved_key, element))
+        if not edges:
+            continue
+        vertex_ids = sorted({v for edge in edges for v in edge})
+        dense = {v: i for i, v in enumerate(vertex_ids)}
+        labels = connected_components_edges(
+            len(vertex_ids), [(dense[u], dense[v]) for u, v in edges],
+            counter)                                            # line 15
+        groups: Dict[int, List[int]] = {}
+        for v, rid in enumerate(vertex_ids):
+            groups.setdefault(labels[v], []).append(rid)
+        for members in groups.values():                         # line 16
+            if len(members) < 2:
+                continue
+            rep = min(members)
+            builder.merge(members, level, rep=rep)              # line 17
+            for rid in members:                                 # line 20
+                if rid != rep:
+                    representative[rid] = rep
+        del tables[level]
+    tree = builder.build()                                      # line 21
+    t2 = time.perf_counter()
+    stats = dict(coreness.stats)
+    stats.update({
+        "pairs_inserted": float(n_pairs),
+        "relabel_resolutions": float(relabel_resolutions),
+        "memory_units": float(2 * n_pairs + 2 * prepared.n_r),
+        "seconds_coreness": t1 - t0,
+        "seconds_tree": t2 - t1,
+    })
+    return InterleavedResult(coreness, tree, stats)
+
+
+def hierarchy_te_practical(graph: Graph, r: int, s: int,
+                           strategy: str = "materialized",
+                           counter: Optional[WorkSpanCounter] = None,
+                           prepared: Optional[NucleusInput] = None,
+                           coreness: Optional[CorenessResult] = None,
+                           seed: int = 0) -> InterleavedResult:
+    """Section 7.4 ANH-TE: single union-find over core-sorted r-cliques.
+
+    After the coreness pass, r-cliques are processed in descending core
+    order; at level ``c`` every clique of core ``c`` is united with its
+    s-clique-adjacent neighbors of core ``>= c``, and the union-find's
+    components among active cliques are this level's nuclei. The same
+    union-find carries over to lower levels.
+    """
+    counter = counter if counter is not None else WorkSpanCounter()
+    if prepared is None:
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+    t0 = time.perf_counter()
+    if coreness is None:
+        coreness = peel_exact(prepared.incidence, counter=counter)
+    core = coreness.core
+    t1 = time.perf_counter()
+    n_r = prepared.n_r
+    incidence = prepared.incidence
+    # "We perform a parallel sort on the r-cliques based on their core
+    # numbers" -- the small extra memory the paper attributes to ANH-TE.
+    order = par_sort(range(n_r), counter, key=lambda x: core[x], reverse=True)
+    by_level: Dict[float, List[int]] = {}
+    for rid in order:
+        if core[rid] > 0:
+            by_level.setdefault(core[rid], []).append(rid)
+
+    uf = ConcurrentUnionFind(n_r, seed=seed)
+    builder = HierarchyTreeBuilder(core)
+    active: List[int] = []
+    unite_calls = 0
+    link_calls = 0
+    for level in sorted(by_level, reverse=True):
+        fresh = by_level[level]
+        active.extend(fresh)
+        merges_before = uf.stats.effective_unites
+        for rid in fresh:
+            for members in incidence.s_cliques_containing(rid):
+                for other in members:
+                    if other != rid and core[other] >= level:
+                        link_calls += 1
+                        uf.unite(rid, other)
+                        unite_calls += 1
+        counter.add_parallel(len(fresh) + unite_calls + 1,
+                             1 + log2_ceil(max(n_r, 1)))
+        if uf.stats.effective_unites == merges_before and not fresh:
+            continue
+        groups: Dict[int, List[int]] = {}
+        for rid in active:
+            groups.setdefault(uf.find(rid), []).append(rid)
+        counter.add_parallel(len(active) + 1, 1 + log2_ceil(max(n_r, 1)))
+        for members in groups.values():
+            if len(members) >= 2:
+                builder.merge(members, level)
+    tree = builder.build()
+    t2 = time.perf_counter()
+    stats = dict(coreness.stats)
+    stats.update({
+        "link_calls": float(link_calls),
+        "unite_calls": float(unite_calls),
+        "effective_unites": float(uf.stats.effective_unites),
+        # uf parents + L-equivalent top tracking + the core-sorted order.
+        "memory_units": float(3 * n_r),
+        "seconds_coreness": t1 - t0,
+        "seconds_tree": t2 - t1,
+    })
+    return InterleavedResult(coreness, tree, stats)

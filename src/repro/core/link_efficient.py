@@ -1,0 +1,166 @@
+"""``LINK-EFFICIENT`` and ``CONSTRUCT-TREE-EFFICIENT`` (Algorithm 5) -- ANH-EL.
+
+The paper's main practical contribution: instead of one union-find per
+level, a *single* concurrent union-find ``uf`` plus one hash table ``L``:
+
+* ``uf`` connects r-cliques with **equal** core numbers (the sets of
+  r-cliques with distinct core numbers are disjoint, so one structure
+  suffices);
+* ``L`` maps each component representative to its **nearest core**: an
+  r-clique of the largest core number *strictly below* the component's, to
+  which the component is connected through r-cliques of core number at
+  least that value.
+
+New adjacency information arriving mid-peel can invalidate either
+structure, so ``LINK-EFFICIENT`` cascades: uniting two components must
+re-negotiate their nearest cores, and displacing an entry of ``L`` must
+re-link the displaced clique. All updates go through compare-and-swap on
+:class:`~repro.parallel.atomics.AtomicCell` (the concurrency model of
+DESIGN.md); the retry loop of Algorithm 5 lines 12-27 is implemented
+verbatim, and the cascading recursive calls become an explicit work stack
+(Python's recursion limit would otherwise bound the cascade depth).
+
+Extra space is exactly ``2 * n_r`` integers (``uf`` parents + ``L``), the
+figure the paper quotes against NH's ``comb(s,r)*n_s + n_r``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ds.union_find import ConcurrentUnionFind
+from ..errors import DataStructureError
+from ..parallel.atomics import AtomicCell, AtomicStats
+from .tree import HierarchyTree, HierarchyTreeBuilder, Level
+
+#: Sentinel for "no entry" in the nearest-core table ``L``.
+EMPTY = -1
+
+
+class LinkEfficient:
+    """Single union-find + nearest-core table linking (Algorithm 5)."""
+
+    name = "link-efficient"
+
+    #: Safety valve for the cascade loop; a correct execution performs at
+    #: most O(n_r) effective updates per link, so hitting this indicates a
+    #: bug rather than a big input.
+    MAX_STEPS_FACTOR = 64
+
+    def __init__(self, core: Sequence[Level], seed: int = 0) -> None:
+        # Hold the list by reference: the interleaved framework fills core
+        # numbers in place while linking (Algorithm 3's call discipline).
+        self.core = core if isinstance(core, list) else list(core)
+        n_r = len(self.core)
+        self.uf = ConcurrentUnionFind(n_r, seed=seed)
+        self.atomic_stats = AtomicStats()
+        self.L: List[AtomicCell[int]] = [
+            AtomicCell(EMPTY, self.atomic_stats) for _ in range(n_r)
+        ]
+        self.link_calls = 0
+        self.cascade_calls = 0
+
+    # -- the LINK subroutine ----------------------------------------------
+
+    def link(self, r_early: int, r_late: int) -> None:
+        """Record that two r-cliques are s-clique-adjacent.
+
+        Core numbers of both arguments must be final (guaranteed by the
+        peeling framework's call discipline).
+        """
+        self.link_calls += 1
+        nd = self.core
+        uf = self.uf
+        stack = [(r_early, r_late)]
+        budget = self.MAX_STEPS_FACTOR * (len(nd) + 4)
+        while stack:
+            budget -= 1
+            if budget < 0:
+                raise DataStructureError(
+                    "LINK-EFFICIENT cascade exceeded its step budget; "
+                    "this indicates a bug in the link invariants")
+            r, q = stack.pop()
+            if r == EMPTY or q == EMPTY:                       # line 4
+                continue
+            if nd[q] < nd[r]:                                  # line 5
+                r, q = q, r
+            r = uf.find(r)                                     # line 6
+            q = uf.find(q)
+            if r == q:
+                continue
+            if nd[r] == nd[q]:                                 # line 7
+                self.cascade_calls += 1
+                uf.unite(r, q)                                 # line 8
+                if uf.find(r) != r:                            # line 9
+                    stack.append((self.L[r].load(), uf.find(r)))
+                if uf.find(q) != q:                            # line 10
+                    stack.append((self.L[q].load(), uf.find(q)))
+                continue
+            # nd[r] < nd[q]                                      line 11
+            while True:                                        # line 12
+                lq = self.L[q].load()                          # line 13
+                q = uf.find(q)                                 # line 14
+                if self.L[q].compare_and_swap(EMPTY, r):       # line 15
+                    if uf.find(q) != q:                        # line 16
+                        stack.append((r, uf.find(q)))          # line 17
+                    break                                      # line 18
+                if lq == EMPTY:
+                    # The entry appeared between our read and the CAS
+                    # (possible under contention): retry with fresh reads.
+                    continue
+                if nd[lq] < nd[r]:                             # line 19
+                    if self.L[q].compare_and_swap(lq, r):      # line 20
+                        if uf.find(q) != q:                    # line 21
+                            stack.append((r, uf.find(q)))      # line 22
+                        stack.append((r, lq))                  # line 23
+                        break                                  # line 24
+                    continue  # CAS failed: retry the loop
+                # nd[lq] >= nd[r]                                line 25
+                stack.append((r, self.L[q].load()))            # line 26
+                break                                          # line 27
+
+    # -- tree construction --------------------------------------------------
+
+    def construct_tree(self) -> HierarchyTree:
+        """``CONSTRUCT-TREE-EFFICIENT`` (Algorithm 5, lines 28-36).
+
+        Stage 1 creates one parent per union-find component (equal-core
+        nuclei); stage 2 attaches each component under the component of its
+        nearest core. Both stages are flat parallel loops in the paper; the
+        builder realizes the same tree with single-child chains suppressed
+        (the equivalence the paper notes in Section 7.3).
+        """
+        components = self.uf.components()
+        # Group attachments by the *component* of the nearest core.
+        attached_to: Dict[int, List[int]] = {}
+        for root in components:
+            nearest = self.L[root].load()
+            if nearest != EMPTY:
+                target = self.uf.find(nearest)
+                attached_to.setdefault(target, []).append(root)
+        builder = HierarchyTreeBuilder(self.core)
+        # Descending core order: children exist before their parents merge.
+        for root in sorted(components, key=lambda x: self.core[x],
+                           reverse=True):
+            group = list(components[root])
+            for source_root in attached_to.get(root, ()):
+                # Any member leaf stands for the attached component: the
+                # builder resolves it to that component's current top node.
+                group.append(components[source_root][0])
+            builder.merge(group, self.core[root], rep=root)
+        return builder.build()
+
+    def memory_units(self) -> int:
+        """Extra integers held: uf parents + L (the paper's ``2 n_r``)."""
+        return 2 * len(self.core)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "link_calls": float(self.link_calls),
+            "cascade_calls": float(self.cascade_calls),
+            "unite_calls": float(self.uf.stats.unites),
+            "effective_unites": float(self.uf.stats.effective_unites),
+            "cas_attempts": float(self.atomic_stats.cas_attempts),
+            "cas_failures": float(self.atomic_stats.cas_failures),
+            "memory_units": float(self.memory_units()),
+        }

@@ -1,0 +1,233 @@
+"""Hierarchy-backed queries: the downstream API the hierarchy exists for.
+
+The paper motivates the hierarchy as "easy to visualize and explore as
+part of structural graph analysis tasks" (Section 1) and demonstrates the
+cut operation (Figure 10). This module packages the query patterns that
+follow-up systems (e.g. Chu et al.'s subgraph search) build on the tree:
+
+* :class:`HierarchyQueryIndex` -- preprocesses a decomposition once so
+  that point queries are tree-path-sized:
+  - ``community(vertices, ...)`` -- the smallest nucleus containing all
+    query vertices (community search);
+  - ``strongest_community(vertex)`` -- the deepest nucleus a vertex
+    participates in;
+  - ``top_k_densest(k)`` / ``top_k_deepest(k)`` -- ranked nuclei;
+  - ``membership(vertex)`` -- the chain of nuclei containing a vertex,
+    deepest first.
+* :func:`hierarchy_statistics` -- the structural summary reports print.
+
+All results are vertex-space (the index handles r-clique translation).
+A vertex generally belongs to several r-cliques, possibly in different
+subtrees, so vertex queries consider every leaf containing the vertex,
+not just one chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.density import edge_density
+from ..errors import ParameterError
+from .decomposition import NucleusDecomposition
+from .tree import NO_PARENT, HierarchyTree
+
+
+@dataclass(frozen=True)
+class Community:
+    """One nucleus, in vertex space, with its provenance."""
+
+    node: int            # tree node id
+    level: float         # the nucleus's level (min s-clique degree)
+    vertices: Tuple[int, ...]
+    n_r_cliques: int
+    density: float
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+class HierarchyQueryIndex:
+    """Preprocessed query index over one decomposition's hierarchy.
+
+    Construction is one pass over the tree (computing vertex sets
+    bottom-up and a vertex -> leaves map); queries then walk tree paths.
+    """
+
+    def __init__(self, decomposition: NucleusDecomposition) -> None:
+        if decomposition.tree is None:
+            raise ParameterError(
+                "the decomposition has no hierarchy; run with hierarchy=True")
+        self.decomposition = decomposition
+        self.tree: HierarchyTree = decomposition.tree
+        self.graph = decomposition.graph
+        index = decomposition.index
+        tree = self.tree
+        # Vertex sets per node, bottom-up (children before parents).
+        self._vertices: List[Set[int]] = [set() for _ in range(tree.n_nodes)]
+        self._n_leaves_under: List[int] = [0] * tree.n_nodes
+        order = sorted(range(tree.n_nodes),
+                       key=lambda node: tree.level[node], reverse=True)
+        for node in order:
+            if tree.is_leaf(node):
+                self._vertices[node].update(index.clique_of(node))
+                self._n_leaves_under[node] = 1
+            par = tree.parent[node]
+            if par != NO_PARENT:
+                self._vertices[par].update(self._vertices[node])
+                self._n_leaves_under[par] += self._n_leaves_under[node]
+        # Every leaf (r-clique) each vertex belongs to: vertex queries
+        # must consider all of them, since they may sit in different
+        # subtrees of the forest.
+        self._leaves_of_vertex: Dict[int, List[int]] = {}
+        for leaf in range(tree.n_leaves):
+            for v in index.clique_of(leaf):
+                self._leaves_of_vertex.setdefault(v, []).append(leaf)
+
+    # -- internals ---------------------------------------------------------
+
+    def _community_at(self, node: int) -> Community:
+        vertices = tuple(sorted(self._vertices[node]))
+        return Community(
+            node=node,
+            level=self.tree.level[node],
+            vertices=vertices,
+            n_r_cliques=self._n_leaves_under[node],
+            density=edge_density(self.graph, vertices),
+        )
+
+    def _ancestors(self, node: int) -> List[int]:
+        out = [node]
+        while self.tree.parent[out[-1]] != NO_PARENT:
+            out.append(self.tree.parent[out[-1]])
+        return out
+
+    def _nodes_containing(self, vertex: int) -> List[int]:
+        """All tree nodes whose vertex set includes ``vertex``, deepest first.
+
+        Union of the ancestor chains of every leaf using the vertex,
+        deduplicated, ordered by (level, -size).
+        """
+        seen: Set[int] = set()
+        for leaf in self._leaves_of_vertex.get(vertex, ()):
+            for node in self._ancestors(leaf):
+                if node in seen:
+                    break  # the rest of this chain is already recorded
+                seen.add(node)
+        return sorted(seen,
+                      key=lambda n: (self.tree.level[n],
+                                     -len(self._vertices[n])),
+                      reverse=True)
+
+    # -- queries -----------------------------------------------------------
+
+    def community(self, vertices: Sequence[int],
+                  min_level: float = 1.0) -> Optional[Community]:
+        """Smallest (deepest, then smallest) nucleus containing the query.
+
+        Community search: any covering nucleus must be an ancestor of some
+        leaf containing the first query vertex, so only those chains are
+        examined. Requires the nucleus level to be at least ``min_level``;
+        returns ``None`` when no single nucleus covers the query.
+        """
+        query = set(vertices)
+        if not query:
+            raise ParameterError("community() needs at least one vertex")
+        for v in query:
+            if not 0 <= v < self.graph.n:
+                raise ParameterError(f"vertex {v} out of range")
+        anchor = next(iter(query))
+        best: Optional[int] = None
+        for node in self._nodes_containing(anchor):
+            if self.tree.is_leaf(node):
+                # A leaf is a single r-clique, not a nucleus; any r-clique
+                # with positive core has an internal ancestor that is.
+                continue
+            if self.tree.level[node] < min_level:
+                continue
+            if not query <= self._vertices[node]:
+                continue
+            if best is None or self._better_community(node, best):
+                best = node
+        return self._community_at(best) if best is not None else None
+
+    def _better_community(self, a: int, b: int) -> bool:
+        la, lb = self.tree.level[a], self.tree.level[b]
+        if la != lb:
+            return la > lb
+        return len(self._vertices[a]) < len(self._vertices[b])
+
+    def strongest_community(self, vertex: int,
+                            min_vertices: int = 2) -> Optional[Community]:
+        """The deepest nucleus of size >= ``min_vertices`` containing ``vertex``."""
+        for node in self._nodes_containing(vertex):
+            if (self.tree.level[node] >= 1
+                    and len(self._vertices[node]) >= min_vertices
+                    and not self.tree.is_leaf(node)):
+                return self._community_at(node)
+        return None
+
+    def membership(self, vertex: int) -> List[Community]:
+        """All nuclei containing ``vertex``, deepest first."""
+        return [self._community_at(node)
+                for node in self._nodes_containing(vertex)
+                if self.tree.level[node] >= 1 and not self.tree.is_leaf(node)]
+
+    def top_k_densest(self, k: int, min_vertices: int = 3) -> List[Community]:
+        """The k densest nuclei with at least ``min_vertices`` vertices."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        candidates = [
+            self._community_at(node)
+            for node in range(self.tree.n_leaves, self.tree.n_nodes)
+            if len(self._vertices[node]) >= min_vertices
+        ]
+        candidates.sort(key=lambda c: (c.density, c.level, -len(c)),
+                        reverse=True)
+        return candidates[:k]
+
+    def top_k_deepest(self, k: int, min_vertices: int = 2) -> List[Community]:
+        """The k deepest (highest-level) nuclei with >= ``min_vertices``."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        candidates = [
+            self._community_at(node)
+            for node in range(self.tree.n_leaves, self.tree.n_nodes)
+            if len(self._vertices[node]) >= min_vertices
+        ]
+        candidates.sort(key=lambda c: (c.level, c.density), reverse=True)
+        return candidates[:k]
+
+
+@dataclass(frozen=True)
+class HierarchyStatistics:
+    """Structural summary of one hierarchy tree."""
+
+    n_leaves: int
+    n_nuclei: int
+    n_roots: int
+    height: int
+    n_levels: int
+    max_level: float
+    largest_nucleus: int
+    mean_branching: float
+
+
+def hierarchy_statistics(tree: HierarchyTree) -> HierarchyStatistics:
+    """Compute the summary the reports and examples print."""
+    internal = range(tree.n_leaves, tree.n_nodes)
+    child_counts = [len(tree.children(node)) for node in internal]
+    largest = max((len(tree.leaves_under(node)) for node in internal),
+                  default=0)
+    levels = tree.distinct_levels()
+    return HierarchyStatistics(
+        n_leaves=tree.n_leaves,
+        n_nuclei=tree.n_internal,
+        n_roots=len(tree.roots()),
+        height=tree.height(),
+        n_levels=len(levels),
+        max_level=levels[0] if levels else 0.0,
+        largest_nucleus=largest,
+        mean_branching=(sum(child_counts) / len(child_counts)
+                        if child_counts else 0.0),
+    )

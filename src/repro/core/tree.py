@@ -1,0 +1,313 @@
+"""The nucleus hierarchy tree.
+
+The output of hierarchy construction (Algorithms 1, 4, 5 of the paper) is a
+forest whose leaves are r-cliques and whose internal nodes are nuclei:
+
+* every leaf carries its r-clique's (r, s)-clique core number as its level;
+* an internal node at level ``c`` is a ``c``-(r, s) nucleus -- the set of
+  leaves below it is one connected component of the level-``c`` graph (see
+  DESIGN.md Section 1 for the exact semantics);
+* levels strictly decrease from children to parents for internal nodes (a
+  component formed at level ``c`` can only merge into something at a lower
+  level), and a leaf's parent level never exceeds the leaf's core number.
+
+Levels are arbitrary comparable numbers so the same machinery serves exact
+decompositions (integer core numbers) and approximate ones (float coreness
+estimates from Algorithm 2).
+
+Different algorithms may differ in *single-child chains* (the paper notes
+these are equivalent, Section 7.3); :meth:`HierarchyTree.partition_chain`
+is the canonical form the tests compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+from ..errors import HierarchyError
+
+Level = float  # exact trees use ints; approximate trees use floats
+
+#: Parent value for roots.
+NO_PARENT = -1
+
+
+class HierarchyTree:
+    """An immutable nucleus hierarchy forest.
+
+    Node ids ``0 .. n_leaves-1`` are leaves (id = r-clique id); higher ids
+    are internal nodes in creation order.
+    """
+
+    __slots__ = ("n_leaves", "parent", "level", "rep", "_children", "_roots")
+
+    def __init__(self, n_leaves: int, parent: Sequence[int],
+                 level: Sequence[Level], rep: Sequence[int]) -> None:
+        if not (len(parent) == len(level) == len(rep)):
+            raise HierarchyError("parent/level/rep arrays must align")
+        if len(parent) < n_leaves:
+            raise HierarchyError(
+                f"{len(parent)} nodes cannot contain {n_leaves} leaves")
+        self.n_leaves = n_leaves
+        self.parent = list(parent)
+        self.level = list(level)
+        self.rep = list(rep)
+        self._children: List[List[int]] = [[] for _ in self.parent]
+        self._roots: List[int] = []
+        for node, par in enumerate(self.parent):
+            if par == NO_PARENT:
+                self._roots.append(node)
+            else:
+                if not 0 <= par < len(self.parent):
+                    raise HierarchyError(
+                        f"node {node} has out-of-range parent {par}")
+                self._children[par].append(node)
+        self.validate()
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.parent)
+
+    @property
+    def n_internal(self) -> int:
+        return self.n_nodes - self.n_leaves
+
+    def is_leaf(self, node: int) -> bool:
+        return node < self.n_leaves
+
+    def children(self, node: int) -> List[int]:
+        return list(self._children[node])
+
+    def roots(self) -> List[int]:
+        return list(self._roots)
+
+    def core_numbers(self) -> List[Level]:
+        """Core number of every leaf (= leaf level)."""
+        return self.level[:self.n_leaves]
+
+    def leaves_under(self, node: int) -> List[int]:
+        """Sorted leaf ids in the subtree of ``node``."""
+        out: List[int] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur < self.n_leaves:
+                out.append(cur)
+            stack.extend(self._children[cur])
+        return sorted(out)
+
+    def depth(self, node: int) -> int:
+        """Number of edges from ``node`` to its root."""
+        d = 0
+        while self.parent[node] != NO_PARENT:
+            node = self.parent[node]
+            d += 1
+        return d
+
+    def height(self) -> int:
+        """Longest root-to-leaf path over the forest."""
+        return max((self.depth(leaf) for leaf in range(self.n_leaves)),
+                   default=0)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`HierarchyError`."""
+        # Acyclicity / reachability: walk up from every node with a step cap.
+        n = self.n_nodes
+        for node in range(n):
+            cur, steps = node, 0
+            while self.parent[cur] != NO_PARENT:
+                cur = self.parent[cur]
+                steps += 1
+                if steps > n:
+                    raise HierarchyError(f"cycle reachable from node {node}")
+        for node in range(self.n_leaves, n):
+            if not self._children[node]:
+                raise HierarchyError(f"internal node {node} has no children")
+        for node, par in enumerate(self.parent):
+            if par == NO_PARENT:
+                continue
+            if par < self.n_leaves:
+                raise HierarchyError(
+                    f"leaf {par} cannot be a parent (of node {node})")
+            if node < self.n_leaves:
+                if self.level[par] > self.level[node]:
+                    raise HierarchyError(
+                        f"parent {par} level {self.level[par]} exceeds "
+                        f"leaf {node} core {self.level[node]}")
+            elif self.level[par] >= self.level[node]:
+                raise HierarchyError(
+                    f"internal parent {par} level {self.level[par]} must be "
+                    f"below child {node} level {self.level[node]}")
+        for node in range(self.n_leaves, n):
+            if not 0 <= self.rep[node] < self.n_leaves:
+                raise HierarchyError(
+                    f"internal node {node} representative {self.rep[node]} "
+                    f"is not a leaf id")
+
+    # -- nuclei ------------------------------------------------------------
+
+    def nuclei_at(self, c: Level) -> List[List[int]]:
+        """All ``c``-(r, s) nuclei as sorted lists of r-clique (leaf) ids.
+
+        This is the Figure 10 "cutting the hierarchy" operation: a nucleus
+        at level ``c`` is the leaf set of a maximal node whose level is at
+        least ``c``. It costs O(tree size), versus running connectivity
+        over the whole level graph (the no-hierarchy baseline).
+        """
+        out: List[List[int]] = []
+        for node in range(self.n_nodes):
+            if self.level[node] < c:
+                continue
+            par = self.parent[node]
+            if par != NO_PARENT and self.level[par] >= c:
+                continue
+            out.append(self.leaves_under(node))
+        return out
+
+    def nucleus_of(self, leaf: int, c: Level) -> Optional[List[int]]:
+        """The ``c``-nucleus containing ``leaf``, or ``None``.
+
+        Walks up from the leaf to the highest ancestor with level >= c.
+        """
+        if not 0 <= leaf < self.n_leaves:
+            raise HierarchyError(f"{leaf} is not a leaf id")
+        if self.level[leaf] < c:
+            return None
+        node = leaf
+        while (self.parent[node] != NO_PARENT
+               and self.level[self.parent[node]] >= c):
+            node = self.parent[node]
+        return self.leaves_under(node)
+
+    def distinct_levels(self) -> List[Level]:
+        """Distinct positive levels present, descending."""
+        return sorted({lv for lv in self.level if lv > 0}, reverse=True)
+
+    def partition_chain(self) -> Dict[Level, FrozenSet[FrozenSet[int]]]:
+        """Canonical form: level -> set of nuclei (as leaf-id frozensets).
+
+        Two hierarchy trees over the same decomposition are equivalent iff
+        their partition chains are equal; this is insensitive to
+        single-child chains and to node creation order.
+        """
+        return {c: frozenset(frozenset(nucleus) for nucleus in self.nuclei_at(c))
+                for c in self.distinct_levels()}
+
+    def __repr__(self) -> str:
+        return (f"HierarchyTree(leaves={self.n_leaves}, "
+                f"internal={self.n_internal}, roots={len(self._roots)})")
+
+    def render(self, labels: Optional[Mapping[int, str]] = None,
+               max_nodes: int = 200) -> str:
+        """ASCII rendering (small trees only; used by examples)."""
+        lines: List[str] = []
+        count = 0
+
+        def describe(node: int) -> str:
+            if labels is not None and node in labels:
+                return labels[node]
+            kind = "leaf" if node < self.n_leaves else "nucleus"
+            return f"{kind}#{node}"
+
+        def walk(node: int, indent: int) -> None:
+            nonlocal count
+            if count >= max_nodes:
+                return
+            count += 1
+            lines.append("  " * indent
+                         + f"{describe(node)} (level {self.level[node]:g})")
+            for child in sorted(self._children[node],
+                                key=lambda x: (self.level[x], x), reverse=True):
+                walk(child, indent + 1)
+
+        for root in sorted(self._roots, key=lambda x: (self.level[x], x)):
+            walk(root, 0)
+        if count >= max_nodes:
+            lines.append(f"... ({self.n_nodes - max_nodes} more nodes)")
+        return "\n".join(lines)
+
+
+class HierarchyTreeBuilder:
+    """Incremental builder used by every hierarchy construction algorithm.
+
+    The common pattern in all of the paper's constructions is: start with
+    one (implicit) node per leaf, then repeatedly merge the *current top
+    nodes* of groups of leaves under a new parent at some level. The
+    builder tracks each group's current top node so callers work directly
+    with r-clique ids.
+    """
+
+    def __init__(self, core: Sequence[Level]) -> None:
+        self.n_leaves = len(core)
+        self._parent: List[int] = [NO_PARENT] * self.n_leaves
+        self._level: List[Level] = list(core)
+        self._rep: List[int] = list(range(self.n_leaves))
+        # Current top node for each *top representative*; resolved lazily
+        # through a small union-ish "top" pointer per node.
+        self._top_of_node: List[int] = list(range(self.n_leaves))
+
+    def _top(self, node: int) -> int:
+        # Path-compressed walk to the node's current top ancestor.
+        root = node
+        while self._top_of_node[root] != root:
+            root = self._top_of_node[root]
+        while self._top_of_node[node] != root:
+            self._top_of_node[node], node = root, self._top_of_node[node]
+        return root
+
+    def top_of_leaf(self, leaf: int) -> int:
+        """Current top node above ``leaf`` (the node a merge would grab)."""
+        return self._top(leaf)
+
+    def merge(self, leaves: Iterable[int], level: Level,
+              rep: Optional[int] = None) -> Optional[int]:
+        """Merge the current tops of ``leaves`` under a new node at ``level``.
+
+        Returns the new internal node id, or ``None`` when the tops already
+        coincide (nothing to merge). ``rep`` is the representative r-clique
+        recorded on the new node (defaults to the smallest leaf).
+        """
+        leaf_list = list(leaves)
+        tops = sorted({self._top(leaf) for leaf in leaf_list})
+        if len(tops) <= 1:
+            return None
+        node = len(self._parent)
+        self._parent.append(NO_PARENT)
+        self._level.append(level)
+        self._rep.append(min(leaf_list) if rep is None else rep)
+        self._top_of_node.append(node)
+        for top in tops:
+            if self._level[top] < level or (
+                    top >= self.n_leaves and self._level[top] <= level):
+                raise HierarchyError(
+                    f"cannot merge node at level {self._level[top]} under "
+                    f"new level {level} (levels must decrease upward)")
+            self._parent[top] = node
+            self._top_of_node[top] = node
+        return node
+
+    def build(self) -> HierarchyTree:
+        """Finalize into an immutable :class:`HierarchyTree`."""
+        return HierarchyTree(self.n_leaves, self._parent, self._level,
+                             self._rep)
+
+
+def tree_from_partition_chain(core: Sequence[Level],
+                              partitions: Mapping[Level, Iterable[Iterable[int]]]
+                              ) -> HierarchyTree:
+    """Build a tree from explicit per-level partitions (oracle path).
+
+    ``partitions[c]`` must be the connected components (leaf-id groups) of
+    the level-``c`` graph. Levels are processed in descending order; used
+    by the naive baseline and by tests constructing known-good trees.
+    """
+    builder = HierarchyTreeBuilder(core)
+    for c in sorted(partitions, reverse=True):
+        for group in partitions[c]:
+            builder.merge(group, c)
+    return builder.build()

@@ -1,0 +1,148 @@
+"""Independent validation of decomposition results.
+
+``verify_decomposition`` re-derives, from the graph alone, everything a
+:class:`~repro.core.decomposition.NucleusDecomposition` claims:
+
+1. **coreness soundness** -- every r-clique ``R`` is contained in at least
+   ``core[R]`` s-cliques whose other member r-cliques all have core at
+   least ``core[R]`` (the defining property of a ``core[R]``-nucleus
+   member);
+2. **coreness maximality** -- re-running an independent peeling
+   (the one-at-a-time textbook algorithm) reproduces the exact values
+   (skipped for approximate results, where the approximation bound is
+   checked instead);
+3. **hierarchy consistency** -- the tree's nuclei at every level equal
+   the connected components of the level graph computed directly from
+   the definition;
+4. **tree structure** -- the structural invariants of
+   :meth:`~repro.core.tree.HierarchyTree.validate`.
+
+This is the library's self-check: expensive (it redoes the work), meant
+for tests, audits, and the CLI's ``verify`` subcommand, not hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import comb
+from typing import List, Optional
+
+from ..errors import HierarchyError
+from .decomposition import NucleusDecomposition
+from .nucleus import prepare
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one verification run."""
+
+    ok: bool
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    def record(self, name: str, passed: bool, detail: str = "") -> None:
+        if passed:
+            self.checks.append(name)
+        else:
+            self.ok = False
+            self.failures.append(f"{name}: {detail}" if detail else name)
+
+    def __str__(self) -> str:
+        lines = [f"validation {'PASSED' if self.ok else 'FAILED'} "
+                 f"({len(self.checks)} checks)"]
+        lines.extend(f"  ok: {name}" for name in self.checks)
+        lines.extend(f"  FAIL: {name}" for name in self.failures)
+        return "\n".join(lines)
+
+
+def verify_decomposition(result: NucleusDecomposition,
+                         max_levels: Optional[int] = None
+                         ) -> ValidationReport:
+    """Re-derive and check every claim of ``result`` (see module docs).
+
+    ``max_levels`` caps how many hierarchy levels are cross-checked
+    against the definition (deepest first); ``None`` checks all.
+    """
+    report = ValidationReport(ok=True)
+    prepared = prepare(result.graph, result.r, result.s)
+    core = result.core
+
+    # -- index agreement -------------------------------------------------
+    same_index = (len(prepared.index) == result.n_r and all(
+        prepared.index.clique_of(rid) == result.index.clique_of(rid)
+        for rid in range(result.n_r)))
+    report.record("r-clique index matches a fresh enumeration", same_index)
+    if not same_index:
+        return report
+
+    # -- coreness soundness ------------------------------------------------
+    # Only exact core numbers satisfy the supporting-s-clique property;
+    # approximate estimates over-estimate by design (their own check is
+    # the approximation bound below).
+    sound = True
+    detail = ""
+    for rid in range(result.n_r if not result.is_approximate else 0):
+        needed = core[rid]
+        if needed <= 0:
+            continue
+        supporting = 0
+        for members in prepared.incidence.s_cliques_containing(rid):
+            if all(core[other] >= needed for other in members):
+                supporting += 1
+                if supporting >= needed:
+                    break
+        if supporting < needed:
+            sound = False
+            detail = (f"r-clique {result.index.clique_of(rid)} claims core "
+                      f"{needed:g} but only {supporting} supporting "
+                      f"s-cliques exist")
+            break
+    if not result.is_approximate:
+        report.record("coreness soundness (enough supporting s-cliques)",
+                      sound, detail)
+
+    # -- coreness exactness / approximation bound -------------------------
+    from ..baselines.naive_hierarchy import sequential_coreness
+    exact = sequential_coreness(prepared.incidence)
+    if result.is_approximate:
+        bound = ((comb(result.s, result.r) + result.approx_delta)
+                 * (1.0 + result.approx_delta))
+        ok = all(
+            (e == 0 and a == 0) or (e <= a <= bound * e + 1e-9)
+            for e, a in zip(exact, core))
+        report.record(
+            f"approximate estimates within the proven {bound:.2f}x bound",
+            ok)
+    else:
+        ok = core == exact
+        report.record("coreness matches the independent sequential peeling",
+                      ok,
+                      "" if ok else "value mismatch against the oracle")
+
+    # -- hierarchy ---------------------------------------------------------
+    if result.tree is not None:
+        try:
+            result.tree.validate()
+            report.record("tree structural invariants", True)
+        except HierarchyError as exc:
+            report.record("tree structural invariants", False, str(exc))
+        from ..baselines.naive_hierarchy import level_graph_components
+        levels = result.tree.distinct_levels()
+        if max_levels is not None:
+            levels = levels[:max_levels]
+        consistent = True
+        detail = ""
+        for c in levels:
+            from_tree = sorted(map(tuple, result.tree.nuclei_at(c)))
+            from_def = sorted(map(tuple, level_graph_components(
+                prepared.incidence, core, c)))
+            if from_tree != from_def:
+                consistent = False
+                detail = f"nuclei at level {c:g} disagree with the definition"
+                break
+        report.record(
+            f"hierarchy nuclei match the definition at {len(levels)} levels",
+            consistent, detail)
+        leaves_ok = result.tree.n_leaves == result.n_r
+        report.record("one leaf per r-clique", leaves_ok)
+    return report

@@ -1,0 +1,22 @@
+"""Data-structure substrates used by the nucleus decomposition algorithms.
+
+* :mod:`repro.ds.union_find` -- concurrent (Jayanti-Tarjan) and sequential DSU.
+* :mod:`repro.ds.bucketing` -- Julienne-style exact bucketing for peeling.
+* :mod:`repro.ds.approx_bucketing` -- geometric range buckets (Algorithm 2).
+* :mod:`repro.ds.linked_list` -- O(1)-concat linked lists (Algorithm 1).
+"""
+
+from .approx_bucketing import (GeometricBucketQueue, bucket_of_degree,
+                               bucket_upper_bound, default_round_cap)
+from .bucketing import BucketQueue
+from .heap_bucketing import HeapBucketQueue
+from .linked_list import CatList
+from .union_find import (ConcurrentUnionFind, SequentialUnionFind,
+                         UnionFindStats, partition_refines)
+
+__all__ = [
+    "GeometricBucketQueue", "bucket_of_degree", "bucket_upper_bound",
+    "default_round_cap", "BucketQueue", "HeapBucketQueue", "CatList",
+    "ConcurrentUnionFind",
+    "SequentialUnionFind", "UnionFindStats", "partition_refines",
+]

@@ -1,0 +1,203 @@
+"""Geometric range bucketing for APPROX-ARB-NUCLEUS (Algorithm 2, line 6).
+
+The approximate peeling algorithm replaces exact single-degree buckets with
+geometric *ranges*: bucket ``B_i`` holds r-cliques whose s-clique degree lies
+in ``[(C+d) * (1+d)^i, (C+d) * (1+d)^(i+1))`` where ``C = comb(s, r)`` and
+``d`` is the approximation parameter ``delta``. Two special rules from the
+paper drive the polylogarithmic span:
+
+* **Aggregation** -- while bucket ``i`` is being processed, a clique whose
+  degree falls below the bucket's range is *not* re-bucketed lower; it joins
+  the current bucket and is peeled in a later round of the same bucket.
+* **Round cap** -- each bucket is processed at most
+  ``O(log_{1+delta/C}(n))`` rounds; any survivors are promoted to bucket
+  ``i+1`` (Algorithm 2, lines 17-19). Lemma 6.2 guarantees the cap is large
+  enough that no clique with core number inside bucket ``i``'s range is
+  left behind, which is what preserves the approximation factor.
+
+A clique peeled from bucket ``i`` receives the bucket's upper bound as its
+coreness estimate (callers refine it with ``min(upper, original degree)``,
+the practical improvement noted in Section 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import DataStructureError, ParameterError
+
+
+def bucket_upper_bound(index: int, base: float, growth: float) -> float:
+    """Upper boundary of bucket ``index``: ``base * growth^(index+1)``."""
+    return base * growth ** (index + 1)
+
+
+def bucket_of_degree(degree: float, base: float, growth: float) -> int:
+    """Geometric bucket index of ``degree`` (bucket 0 covers ``[0, base*growth)``)."""
+    if degree < base * growth:
+        return 0
+    # i = floor(log_growth(degree / base)); fix float rounding by probing.
+    i = int(math.log(degree / base, growth))
+    while bucket_upper_bound(i, base, growth) <= degree:
+        i += 1
+    while i > 0 and bucket_upper_bound(i - 1, base, growth) > degree:
+        i -= 1
+    return i
+
+
+def default_round_cap(n_items: int, s_choose_r: int, delta: float) -> int:
+    """The per-bucket round budget ``ceil(log_{1+delta/C}(n)) + 1``.
+
+    This is the ``O(log_{1+delta/binom(s,r)}(n))`` threshold of Algorithm 2
+    line 17, sized by Lemma 6.2's geometric shrinkage argument.
+    """
+    if n_items <= 1:
+        return 1
+    shrink = 1.0 + delta / s_choose_r
+    return int(math.ceil(math.log(n_items) / math.log(shrink))) + 1
+
+
+class GeometricBucketQueue:
+    """Range-bucketed peeling queue used by the approximate algorithm.
+
+    Parameters
+    ----------
+    values:
+        Initial s-clique degree of every r-clique (indexed by id).
+    s_choose_r:
+        ``comb(s, r)``, the ``C`` of the approximation factor.
+    delta:
+        Approximation parameter (> 0).
+    round_cap:
+        Per-bucket round budget; defaults to :func:`default_round_cap`.
+    """
+
+    __slots__ = ("_degree", "_alive", "_assignment", "_lists", "_base",
+                 "_growth", "_current", "_rounds_in_bucket", "_remaining",
+                 "round_cap", "rounds", "bucket_promotions", "updates")
+
+    def __init__(self, values: Sequence[int], s_choose_r: int, delta: float,
+                 round_cap: Optional[int] = None) -> None:
+        if delta <= 0:
+            raise ParameterError(f"delta must be > 0, got {delta}")
+        if s_choose_r < 1:
+            raise ParameterError(f"comb(s, r) must be >= 1, got {s_choose_r}")
+        self._degree: List[float] = [float(v) for v in values]
+        for i, v in enumerate(self._degree):
+            if v < 0:
+                raise DataStructureError(
+                    f"degree must be >= 0, got {v} for id {i}")
+        self._base = s_choose_r + delta
+        self._growth = 1.0 + delta
+        n = len(self._degree)
+        self._alive = [True] * n
+        self._assignment = [
+            bucket_of_degree(v, self._base, self._growth)
+            for v in self._degree
+        ]
+        max_bucket = max(self._assignment, default=0)
+        self._lists: List[List[int]] = [[] for _ in range(max_bucket + 2)]
+        for i, b in enumerate(self._assignment):
+            self._lists[b].append(i)
+        self._current = 0
+        self._rounds_in_bucket = 0
+        self._remaining = n
+        self.round_cap = (default_round_cap(n, s_choose_r, delta)
+                          if round_cap is None else round_cap)
+        if self.round_cap < 1:
+            raise ParameterError(f"round_cap must be >= 1, got {self.round_cap}")
+        #: total peeling rounds performed (the span proxy of Theorem 6.3)
+        self.rounds = 0
+        #: how many ids were promoted to the next bucket by the round cap
+        self.bucket_promotions = 0
+        self.updates = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._remaining
+
+    @property
+    def empty(self) -> bool:
+        return self._remaining == 0
+
+    @property
+    def current_bucket(self) -> int:
+        return self._current
+
+    def current_upper_bound(self) -> float:
+        return bucket_upper_bound(self._current, self._base, self._growth)
+
+    def degree(self, ident: int) -> float:
+        return self._degree[ident]
+
+    def alive(self, ident: int) -> bool:
+        return self._alive[ident]
+
+    # -- updates ---------------------------------------------------------
+
+    def decrement(self, ident: int, amount: int = 1) -> None:
+        """Lower a live clique's degree, applying the aggregation rule."""
+        if not self._alive[ident]:
+            raise DataStructureError(
+                f"cannot decrement extracted identifier {ident}")
+        self.updates += 1
+        self._degree[ident] = max(0.0, self._degree[ident] - amount)
+        target = max(self._current,
+                     bucket_of_degree(self._degree[ident], self._base,
+                                      self._growth))
+        if target != self._assignment[ident]:
+            self._assignment[ident] = target
+            self._ensure_bucket(target)
+            self._lists[target].append(ident)
+
+    def _ensure_bucket(self, index: int) -> None:
+        while len(self._lists) <= index:
+            self._lists.append([])
+
+    def _valid_entries(self, index: int) -> List[int]:
+        seen = set()
+        out = []
+        for i in self._lists[index]:
+            if self._alive[i] and self._assignment[i] == index and i not in seen:
+                out.append(i)
+                seen.add(i)
+        return out
+
+    # -- extraction ------------------------------------------------------
+
+    def next_round(self) -> Tuple[float, List[int]]:
+        """Peel one round: all live cliques in the current bucket.
+
+        Returns ``(upper_bound, ids)``. Internally advances through empty
+        buckets and applies the round cap, promoting survivors. Raises when
+        the queue is empty.
+        """
+        if self._remaining == 0:
+            raise DataStructureError("next_round() on empty GeometricBucketQueue")
+        while True:
+            if self._current >= len(self._lists):
+                raise DataStructureError(
+                    "GeometricBucketQueue invariant violated: remaining > 0 "
+                    "but all buckets exhausted")
+            entries = self._valid_entries(self._current)
+            if not entries or self._rounds_in_bucket >= self.round_cap:
+                if entries:
+                    # Round cap exceeded: promote survivors (line 18).
+                    self._ensure_bucket(self._current + 1)
+                    for i in entries:
+                        self._assignment[i] = self._current + 1
+                        self._lists[self._current + 1].append(i)
+                    self.bucket_promotions += len(entries)
+                self._lists[self._current] = []
+                self._current += 1
+                self._rounds_in_bucket = 0
+                continue
+            self._lists[self._current] = []
+            for i in entries:
+                self._alive[i] = False
+            self._remaining -= len(entries)
+            self._rounds_in_bucket += 1
+            self.rounds += 1
+            return self.current_upper_bound(), entries

@@ -1,0 +1,162 @@
+"""Heap-based bucketing: the paper's space-restricted alternative.
+
+Footnote 2 of the paper (Section 6): *"if we instead restrict our space
+usage to be proportional to the number of r-cliques, we can modify the
+bucketing structure to use a batch-parallel Fibonacci heap [56], which
+would increase the work bound to O(m alpha^(s-2) + log^3 n) amortized."*
+
+:class:`HeapBucketQueue` realizes that regime with an addressable binary
+heap: exactly three arrays of length ``n_r`` (heap order, positions,
+values), ``decrease-key`` for the peeling decrements, and batch
+extraction of every id holding the minimum value. The interface matches
+:class:`repro.ds.bucketing.BucketQueue`, so the peeling engine accepts
+either (``peel_exact(..., bucketing="heap")``), and
+``benchmarks/bench_ablation.py`` compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import DataStructureError
+
+
+class HeapBucketQueue:
+    """Minimum-batch extraction backed by an addressable binary heap.
+
+    Space is exactly ``3 * n`` integers regardless of how many updates
+    occur -- the property the paper's footnote is about.
+    """
+
+    __slots__ = ("_value", "_alive", "_heap", "_pos", "_remaining",
+                 "rounds", "updates")
+
+    def __init__(self, values: Sequence[int]) -> None:
+        self._value: List[int] = list(values)
+        for i, v in enumerate(self._value):
+            if v < 0:
+                raise DataStructureError(
+                    f"bucket value must be >= 0, got {v} for id {i}")
+        n = len(self._value)
+        self._alive = [True] * n
+        self._heap: List[int] = list(range(n))
+        self._pos: List[int] = list(range(n))
+        # heapify by value
+        for i in range(n // 2 - 1, -1, -1):
+            self._sift_down(i)
+        self._remaining = n
+        self.rounds = 0
+        self.updates = 0
+
+    # -- heap internals ----------------------------------------------------
+
+    def _less(self, a: int, b: int) -> bool:
+        va, vb = self._value[a], self._value[b]
+        if va != vb:
+            return va < vb
+        return a < b  # deterministic tie-break by id
+
+    def _swap(self, i: int, j: int) -> None:
+        heap = self._heap
+        heap[i], heap[j] = heap[j], heap[i]
+        self._pos[heap[i]] = i
+        self._pos[heap[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        while i > 0:
+            parent = (i - 1) // 2
+            if self._less(self._heap[i], self._heap[parent]):
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        n = len(self._heap)
+        while True:
+            left, right = 2 * i + 1, 2 * i + 2
+            smallest = i
+            if left < n and self._less(self._heap[left],
+                                       self._heap[smallest]):
+                smallest = left
+            if right < n and self._less(self._heap[right],
+                                        self._heap[smallest]):
+                smallest = right
+            if smallest == i:
+                break
+            self._swap(i, smallest)
+            i = smallest
+
+    def _pop_min(self) -> int:
+        top = self._heap[0]
+        last = self._heap.pop()
+        self._pos[top] = -1
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last] = 0
+            self._sift_down(0)
+        return top
+
+    # -- BucketQueue-compatible API ----------------------------------------
+
+    def __len__(self) -> int:
+        return self._remaining
+
+    @property
+    def empty(self) -> bool:
+        return self._remaining == 0
+
+    def value(self, ident: int) -> int:
+        return self._value[ident]
+
+    def alive(self, ident: int) -> bool:
+        return self._alive[ident]
+
+    def update(self, ident: int, new_value: int) -> None:
+        """Lower the value of a live identifier (decrease-key)."""
+        if not self._alive[ident]:
+            raise DataStructureError(
+                f"cannot update extracted identifier {ident}")
+        old = self._value[ident]
+        if new_value > old:
+            raise DataStructureError(
+                f"bucket values may only decrease: id {ident} "
+                f"{old} -> {new_value}")
+        if new_value == old:
+            return
+        if new_value < 0:
+            raise DataStructureError(
+                f"bucket value must be >= 0, got {new_value} for id {ident}")
+        self.updates += 1
+        self._value[ident] = new_value
+        self._sift_up(self._pos[ident])
+
+    def decrement(self, ident: int, amount: int = 1) -> None:
+        self.update(ident, max(0, self._value[ident] - amount))
+
+    def peek_min(self) -> Optional[int]:
+        if self._remaining == 0:
+            return None
+        return self._value[self._heap[0]]
+
+    def next_bucket(self) -> Tuple[int, List[int]]:
+        """Extract every live identifier holding the minimum value."""
+        if self._remaining == 0:
+            raise DataStructureError("next_bucket() on empty HeapBucketQueue")
+        minimum = self._value[self._heap[0]]
+        extracted: List[int] = []
+        while self._heap and self._value[self._heap[0]] == minimum:
+            ident = self._pop_min()
+            self._alive[ident] = False
+            extracted.append(ident)
+        self._remaining -= len(extracted)
+        self.rounds += 1
+        return minimum, extracted
+
+    def drain(self) -> Iterable[Tuple[int, List[int]]]:
+        while not self.empty:
+            yield self.next_bucket()
+
+    def memory_units(self) -> int:
+        """Integers held: three arrays of length n (the footnote's point)."""
+        return 3 * len(self._value)

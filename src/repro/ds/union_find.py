@@ -1,0 +1,220 @@
+"""Union-find data structures.
+
+Two implementations:
+
+* :class:`ConcurrentUnionFind` -- the randomized concurrent disjoint-set
+  union of Jayanti and Tarjan [31], which the paper uses for its interleaved
+  hierarchy algorithms (Algorithms 4 and 5). Roots are linked by random
+  priority and finds use path splitting; both operations are lock-free in
+  the original, synchronizing through CAS on parent cells. Here the CAS goes
+  through :class:`~repro.parallel.atomics.AtomicCell`, so tests can inject
+  contention (see :class:`~repro.parallel.atomics.FlakyAtomicCell`).
+* :class:`SequentialUnionFind` -- classic union-by-rank with full path
+  compression, used by the sequential ``NH`` baseline [49].
+
+Both count their operations (`unites`, `finds`, pointer hops) because the
+paper's Section 8.1 analysis compares algorithms by exactly those counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..errors import DataStructureError
+from ..parallel.atomics import AtomicCell, AtomicStats
+
+
+class UnionFindStats:
+    """Operation counters shared by the union-find variants."""
+
+    __slots__ = ("unites", "effective_unites", "finds", "hops")
+
+    def __init__(self) -> None:
+        self.unites = 0
+        #: unites that actually merged two distinct sets
+        self.effective_unites = 0
+        self.finds = 0
+        #: parent-pointer dereferences (the work measure)
+        self.hops = 0
+
+    def reset(self) -> None:
+        self.unites = 0
+        self.effective_unites = 0
+        self.finds = 0
+        self.hops = 0
+
+
+class ConcurrentUnionFind:
+    """Jayanti-Tarjan randomized concurrent union-find.
+
+    Elements are the integers ``0 .. n-1``. ``unite`` links the root of
+    lower random priority under the root of higher priority with a CAS on
+    its parent cell, retrying on failure; ``find`` performs path splitting
+    (every traversed node's parent is CAS'd to its grandparent). With these
+    choices the structure is linearizable and runs in effectively-constant
+    amortized time per operation.
+    """
+
+    __slots__ = ("n", "_parents", "_priority", "stats", "atomic_stats")
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n < 0:
+            raise DataStructureError(f"union-find size must be >= 0, got {n}")
+        self.n = n
+        self.atomic_stats = AtomicStats()
+        self._parents: List[AtomicCell[int]] = [
+            AtomicCell(i, self.atomic_stats) for i in range(n)
+        ]
+        rng = random.Random(seed)
+        perm = list(range(n))
+        rng.shuffle(perm)
+        self._priority = perm
+        self.stats = UnionFindStats()
+
+    # -- internal --------------------------------------------------------
+
+    def _check(self, x: int) -> None:
+        if not 0 <= x < self.n:
+            raise DataStructureError(
+                f"element {x} out of range for union-find of size {self.n}")
+
+    def parent_cell(self, x: int) -> AtomicCell[int]:
+        """Direct access to the parent cell (tests inject flaky cells)."""
+        self._check(x)
+        return self._parents[x]
+
+    def set_parent_cell(self, x: int, cell: AtomicCell[int]) -> None:
+        """Replace the parent cell of ``x`` (fault-injection hook)."""
+        self._check(x)
+        self._parents[x] = cell
+
+    # -- public API ------------------------------------------------------
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s set, with path splitting."""
+        self._check(x)
+        self.stats.finds += 1
+        while True:
+            parent = self._parents[x].load()
+            self.stats.hops += 1
+            if parent == x:
+                return x
+            grandparent = self._parents[parent].load()
+            self.stats.hops += 1
+            if grandparent != parent:
+                # Path splitting: point x at its grandparent. A CAS failure
+                # means someone else already improved the path; ignore it.
+                self._parents[x].compare_and_swap(parent, grandparent)
+            x = parent
+
+    def unite(self, x: int, y: int) -> int:
+        """Join the sets of ``x`` and ``y``; return the surviving root."""
+        self.stats.unites += 1
+        while True:
+            rx = self.find(x)
+            ry = self.find(y)
+            if rx == ry:
+                return rx
+            # Link the lower-priority root under the higher-priority one.
+            if self._priority[rx] > self._priority[ry]:
+                rx, ry = ry, rx
+            if self._parents[rx].compare_and_swap(rx, ry):
+                self.stats.effective_unites += 1
+                return ry
+            # CAS failed: rx was linked concurrently; retry from the top.
+
+    def same_set(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def components(self) -> Dict[int, List[int]]:
+        """Map each root to the sorted list of its members."""
+        out: Dict[int, List[int]] = {}
+        for x in range(self.n):
+            out.setdefault(self.find(x), []).append(x)
+        return out
+
+    def roots(self) -> List[int]:
+        """All current set representatives, sorted."""
+        return sorted({self.find(x) for x in range(self.n)})
+
+    def n_components(self) -> int:
+        return len({self.find(x) for x in range(self.n)})
+
+
+class SequentialUnionFind:
+    """Union-by-rank with full path compression (the ``NH`` baseline's DSU).
+
+    Sariyüce and Pinar's algorithm pays the inverse-Ackermann factor the
+    paper's Theorem 5.1 avoids; this class is kept separate so baseline
+    measurements use exactly their structure.
+    """
+
+    __slots__ = ("n", "_parent", "_rank", "stats")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise DataStructureError(f"union-find size must be >= 0, got {n}")
+        self.n = n
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self.stats = UnionFindStats()
+
+    def _check(self, x: int) -> None:
+        if not 0 <= x < self.n:
+            raise DataStructureError(
+                f"element {x} out of range for union-find of size {self.n}")
+
+    def find(self, x: int) -> int:
+        self._check(x)
+        self.stats.finds += 1
+        root = x
+        while self._parent[root] != root:
+            self.stats.hops += 1
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def unite(self, x: int, y: int) -> int:
+        self.stats.unites += 1
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return rx
+        self.stats.effective_unites += 1
+        if self._rank[rx] < self._rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if self._rank[rx] == self._rank[ry]:
+            self._rank[rx] += 1
+        return rx
+
+    def same_set(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def components(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {}
+        for x in range(self.n):
+            out.setdefault(self.find(x), []).append(x)
+        return out
+
+    def n_components(self) -> int:
+        return len({self.find(x) for x in range(self.n)})
+
+
+def partition_refines(fine: Dict[int, List[int]],
+                      coarse: Dict[int, List[int]]) -> bool:
+    """True if every block of ``fine`` lies inside one block of ``coarse``.
+
+    Utility used by hierarchy tests: components at level ``c`` must refine
+    components at every level ``c' < c``.
+    """
+    owner: Dict[int, int] = {}
+    for root, members in coarse.items():
+        for x in members:
+            owner[x] = root
+    for members in fine.values():
+        owners = {owner.get(x) for x in members}
+        if len(owners) > 1 or None in owners:
+            return False
+    return True

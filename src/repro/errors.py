@@ -1,0 +1,41 @@
+"""Exception types for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. Input-validation failures use the more specific
+subclasses below, which also carry enough context to debug a bad call site.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when a graph cannot be constructed or parsed.
+
+    Typical causes: self-loops in input edges, vertex ids out of range,
+    malformed edge-list files, or inconsistent CSR arrays.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when an algorithm is called with invalid parameters.
+
+    For nucleus decomposition this covers ``r >= s``, non-positive ``r``,
+    unsupported clique sizes, or an approximation parameter ``delta <= 0``.
+    """
+
+
+class DataStructureError(ReproError):
+    """Raised when a data structure is used outside its contract.
+
+    Examples: concatenating a tombstoned linked list, extracting from an
+    empty bucketing structure, or querying a union-find element that does
+    not exist.
+    """
+
+
+class HierarchyError(ReproError):
+    """Raised when a hierarchy tree fails a structural invariant."""

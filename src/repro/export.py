@@ -1,0 +1,160 @@
+"""Serialization of decomposition results.
+
+Makes the library's outputs durable and toolable:
+
+* :func:`decomposition_to_dict` / :func:`decomposition_to_json` -- a
+  stable JSON document with the core numbers (keyed by r-clique vertex
+  tuples), the hierarchy (parents / levels / leaf sets), and run
+  statistics; :func:`load_coreness` reads the core numbers back.
+* :func:`tree_to_dot` -- Graphviz DOT for the hierarchy forest, the
+  paper's Figure 1/3-style visualization (no dependencies; render with
+  ``dot -Tpng``).
+* :func:`nuclei_to_rows` -- flat (level, size, density, vertices) rows
+  for spreadsheets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from .analysis.density import edge_density, nucleus_vertices
+from .core.decomposition import NucleusDecomposition
+from .core.tree import NO_PARENT
+from .errors import ParameterError
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+#: Schema version embedded in every JSON document.
+SCHEMA_VERSION = 1
+
+
+def decomposition_to_dict(result: NucleusDecomposition,
+                          include_tree: bool = True) -> Dict:
+    """A JSON-serializable document describing one decomposition."""
+    doc: Dict = {
+        "schema_version": SCHEMA_VERSION,
+        "graph": {"name": result.graph.name, "n": result.graph.n,
+                  "m": result.graph.m},
+        "r": result.r,
+        "s": result.s,
+        "method": result.method,
+        "approx_delta": result.approx_delta,
+        "n_r_cliques": result.n_r,
+        "n_s_cliques": result.n_s,
+        "max_core": result.max_core,
+        "peeling_rounds": result.rho,
+        "coreness": [
+            {"clique": list(result.index.clique_of(rid)),
+             "core": result.core[rid]}
+            for rid in range(result.n_r)
+        ],
+        "stats": dict(result.stats),
+        "seconds_total": result.seconds_total,
+    }
+    if include_tree and result.tree is not None:
+        tree = result.tree
+        doc["hierarchy"] = {
+            "n_leaves": tree.n_leaves,
+            "parent": list(tree.parent),
+            "level": list(tree.level),
+            "nuclei": [
+                {"node": node,
+                 "level": tree.level[node],
+                 "r_cliques": tree.leaves_under(node)}
+                for node in range(tree.n_leaves, tree.n_nodes)
+            ],
+        }
+    return doc
+
+
+def decomposition_to_json(result: NucleusDecomposition,
+                          target: Optional[PathOrFile] = None,
+                          include_tree: bool = True, indent: int = 2) -> str:
+    """Serialize to JSON; optionally also write to a path or file object."""
+    text = json.dumps(decomposition_to_dict(result, include_tree),
+                      indent=indent, sort_keys=True)
+    if target is not None:
+        if hasattr(target, "write"):
+            target.write(text)  # type: ignore[union-attr]
+        else:
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    return text
+
+
+def load_coreness(source: PathOrFile) -> Dict[Tuple[int, ...], float]:
+    """Read the core-number table back from a JSON document."""
+    if hasattr(source, "read"):
+        doc = json.load(source)  # type: ignore[arg-type]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ParameterError(
+            f"unsupported schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})")
+    return {tuple(entry["clique"]): float(entry["core"])
+            for entry in doc["coreness"]}
+
+
+def tree_to_dot(result: NucleusDecomposition, max_leaves: int = 200,
+                include_leaves: bool = True) -> str:
+    """Graphviz DOT rendering of the hierarchy forest.
+
+    Internal nodes are boxes labeled ``level / #vertices``; leaves are the
+    r-clique vertex tuples. Trees with more than ``max_leaves`` leaves
+    drop the leaf layer automatically (set ``include_leaves=False`` to
+    force that).
+    """
+    tree = result.tree
+    if tree is None:
+        raise ParameterError("no hierarchy to render; run with hierarchy=True")
+    include_leaves = include_leaves and tree.n_leaves <= max_leaves
+    lines = ["digraph nucleus_hierarchy {",
+             "  rankdir=BT;",
+             "  node [fontsize=10];"]
+    for node in range(tree.n_leaves, tree.n_nodes):
+        vertices = nucleus_vertices(result.index, tree.leaves_under(node))
+        lines.append(
+            f'  n{node} [shape=box, label="level {tree.level[node]:g}\\n'
+            f'{len(vertices)} vertices"];')
+    if include_leaves:
+        for leaf in range(tree.n_leaves):
+            label = ",".join(map(str, result.index.clique_of(leaf)))
+            lines.append(f'  n{leaf} [shape=ellipse, label="{{{label}}}"];')
+    for node in range(tree.n_nodes):
+        par = tree.parent[node]
+        if par == NO_PARENT:
+            continue
+        if node < tree.n_leaves and not include_leaves:
+            continue
+        lines.append(f"  n{node} -> n{par};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def nuclei_to_rows(result: NucleusDecomposition,
+                   min_vertices: int = 2) -> List[Dict]:
+    """Flat per-nucleus rows (for CSV/spreadsheet export)."""
+    tree = result.tree
+    if tree is None:
+        raise ParameterError("no hierarchy; run with hierarchy=True")
+    rows = []
+    for node in range(tree.n_leaves, tree.n_nodes):
+        leaves = tree.leaves_under(node)
+        vertices = sorted(nucleus_vertices(result.index, leaves))
+        if len(vertices) < min_vertices:
+            continue
+        rows.append({
+            "node": node,
+            "level": tree.level[node],
+            "n_vertices": len(vertices),
+            "n_r_cliques": len(leaves),
+            "density": edge_density(result.graph, vertices),
+            "vertices": vertices,
+        })
+    rows.sort(key=lambda row: (-row["level"], -row["n_vertices"]))
+    return rows

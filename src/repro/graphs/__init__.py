@@ -1,0 +1,32 @@
+"""Graph substrate: structure, orientation, connectivity, generators, IO."""
+
+from .connectivity import (bfs_components, components_as_dict,
+                           connected_components, connected_components_edges,
+                           n_components, same_partition)
+from .datasets import (DatasetSpec, dataset_names, dataset_spec, load_dataset,
+                       table1_rows)
+from .generators import (barabasi_albert, erdos_renyi, planted_nuclei,
+                         powerlaw_cluster, random_bipartite_like, ring_lattice,
+                         rmat, tree_graph, watts_strogatz)
+from .graph import Edge, Graph, overlay, union_disjoint
+from .io import graph_from_string, read_edge_list, write_edge_list
+from .stats import (GraphProfile, average_local_clustering,
+                    degree_histogram, degree_skew, degree_summary,
+                    global_clustering, profile_graph)
+from .orientation import (Orientation, arb_orient, arboricity_upper_bound,
+                          degeneracy_order, parallel_orientation_order)
+
+__all__ = [
+    "bfs_components", "components_as_dict", "connected_components",
+    "connected_components_edges", "n_components", "same_partition",
+    "DatasetSpec", "dataset_names", "dataset_spec", "load_dataset",
+    "table1_rows", "barabasi_albert", "erdos_renyi", "planted_nuclei",
+    "powerlaw_cluster", "random_bipartite_like", "ring_lattice", "rmat",
+    "tree_graph", "watts_strogatz", "Edge", "Graph", "overlay",
+    "union_disjoint", "graph_from_string", "read_edge_list",
+    "write_edge_list", "GraphProfile", "average_local_clustering",
+    "degree_histogram", "degree_skew", "degree_summary",
+    "global_clustering", "profile_graph", "Orientation", "arb_orient",
+    "arboricity_upper_bound", "degeneracy_order",
+    "parallel_orientation_order",
+]

@@ -1,0 +1,281 @@
+"""Seeded synthetic graph generators.
+
+These provide the workloads for tests, examples, and the SNAP stand-ins in
+:mod:`repro.graphs.datasets`. All generators are deterministic for a given
+seed (``random.Random`` only; no global state) so every experiment in the
+repository is exactly reproducible.
+
+Generator menu:
+
+* :func:`erdos_renyi` -- G(n, p) sparse random graphs;
+* :func:`barabasi_albert` -- preferential attachment (heavy-tail degrees);
+* :func:`powerlaw_cluster` -- Holme-Kim preferential attachment with
+  triangle closure; the workhorse for social-network stand-ins because it
+  produces abundant cliques (nucleus decomposition is all about cliques);
+* :func:`ring_lattice` / :func:`watts_strogatz` -- high local clustering,
+  the co-purchase-network (amazon) character;
+* :func:`planted_nuclei` -- disjoint dense blocks wired to a sparse
+  backbone, with *known* hierarchy structure, used heavily by tests;
+* :func:`rmat` -- Kronecker-style skewed random graphs;
+* :func:`random_bipartite_like` -- low-clique-count control workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..errors import ParameterError
+from .graph import Edge, Graph
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0, name: str = "") -> Graph:
+    """G(n, p): each pair is an edge independently with probability ``p``."""
+    _check_n(n)
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)
+             if rng.random() < p]
+    return Graph(n, edges, name=name or f"er_{n}_{p}")
+
+
+def barabasi_albert(n: int, m_attach: int, seed: int = 0,
+                    name: str = "") -> Graph:
+    """Preferential attachment: each new vertex attaches to ``m_attach`` others."""
+    _check_n(n)
+    if m_attach < 1:
+        raise ParameterError(f"m_attach must be >= 1, got {m_attach}")
+    if n <= m_attach:
+        return Graph.complete(n, name=name or f"ba_{n}_{m_attach}")
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    # Repeated-endpoint list implements degree-proportional sampling.
+    targets = list(range(m_attach))
+    repeated: List[int] = list(range(m_attach))
+    for v in range(m_attach, n):
+        chosen = set()
+        while len(chosen) < m_attach:
+            chosen.add(rng.choice(repeated) if repeated else rng.randrange(v))
+        for u in chosen:
+            edges.append((u, v))
+            repeated.append(u)
+            repeated.append(v)
+        targets = list(chosen)
+        del targets
+    return Graph(n, edges, name=name or f"ba_{n}_{m_attach}")
+
+
+def powerlaw_cluster(n: int, m_attach: int, p_triangle: float, seed: int = 0,
+                     name: str = "") -> Graph:
+    """Holme-Kim power-law graph with tunable clustering.
+
+    Like Barabasi-Albert, but after each preferential attachment, with
+    probability ``p_triangle`` the next link closes a triangle with a
+    random neighbor of the previous target. High ``p_triangle`` yields the
+    clique-rich structure that makes nucleus decomposition interesting.
+    """
+    _check_n(n)
+    if m_attach < 1:
+        raise ParameterError(f"m_attach must be >= 1, got {m_attach}")
+    if not 0.0 <= p_triangle <= 1.0:
+        raise ParameterError(f"p_triangle must be in [0, 1], got {p_triangle}")
+    if n <= m_attach:
+        return Graph.complete(n, name=name or "plc_small")
+    rng = random.Random(seed)
+    edges: set = set()
+    adj: List[List[int]] = [[] for _ in range(n)]
+    repeated: List[int] = list(range(m_attach))
+
+    def add(u: int, v: int) -> bool:
+        if u == v:
+            return False
+        key = (u, v) if u < v else (v, u)
+        if key in edges:
+            return False
+        edges.add(key)
+        adj[u].append(v)
+        adj[v].append(u)
+        repeated.append(u)
+        repeated.append(v)
+        return True
+
+    for u in range(m_attach):
+        for v in range(u + 1, m_attach):
+            add(u, v)
+    for v in range(m_attach, n):
+        added = 0
+        last_target: Optional[int] = None
+        guard = 0
+        while added < m_attach and guard < 50 * m_attach:
+            guard += 1
+            if (last_target is not None and rng.random() < p_triangle
+                    and adj[last_target]):
+                # Triangle step: link to a neighbor of the last target.
+                candidate = rng.choice(adj[last_target])
+            else:
+                candidate = rng.choice(repeated)
+            if add(candidate, v):
+                added += 1
+                last_target = candidate
+    return Graph(n, sorted(edges), name=name or f"plc_{n}_{m_attach}")
+
+
+def ring_lattice(n: int, k_each_side: int, name: str = "") -> Graph:
+    """Ring where each vertex links to its ``k_each_side`` nearest on each side."""
+    _check_n(n)
+    if k_each_side < 0:
+        raise ParameterError(f"k_each_side must be >= 0, got {k_each_side}")
+    edges = [(v, (v + d) % n) for v in range(n)
+             for d in range(1, k_each_side + 1) if n > 1 and v != (v + d) % n]
+    return Graph(n, edges, name=name or f"ring_{n}_{k_each_side}")
+
+
+def watts_strogatz(n: int, k_each_side: int, p_rewire: float, seed: int = 0,
+                   name: str = "") -> Graph:
+    """Small-world graph: ring lattice with random rewiring."""
+    if not 0.0 <= p_rewire <= 1.0:
+        raise ParameterError(f"p_rewire must be in [0, 1], got {p_rewire}")
+    rng = random.Random(seed)
+    base = ring_lattice(n, k_each_side)
+    edges = set()
+    for u, v in base.edges():
+        if rng.random() < p_rewire and n > 2:
+            w = rng.randrange(n)
+            tries = 0
+            while (w == u or (min(u, w), max(u, w)) in edges) and tries < 10:
+                w = rng.randrange(n)
+                tries += 1
+            if w != u:
+                edges.add((min(u, w), max(u, w)))
+                continue
+        edges.add((u, v))
+    return Graph(n, sorted(edges), name=name or f"ws_{n}_{k_each_side}")
+
+
+def planted_nuclei(block_sizes: Sequence[int], backbone_p: float = 0.0,
+                   bridge: bool = True, seed: int = 0,
+                   name: str = "") -> Graph:
+    """Disjoint cliques ("planted nuclei") optionally chained by bridges.
+
+    Block ``i`` is a clique on ``block_sizes[i]`` vertices; consecutive
+    blocks are joined by a single bridge edge when ``bridge`` is set, and a
+    sparse G(n, backbone_p) overlay can blur the boundaries. Because the
+    exact core numbers of disjoint cliques are known in closed form, this
+    family is the primary correctness workload for the tests.
+    """
+    for size in block_sizes:
+        if size < 1:
+            raise ParameterError(f"block sizes must be >= 1, got {size}")
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    offsets: List[int] = []
+    total = 0
+    for size in block_sizes:
+        offsets.append(total)
+        for a in range(size):
+            for b in range(a + 1, size):
+                edges.append((total + a, total + b))
+        total += size
+    if bridge:
+        for i in range(len(block_sizes) - 1):
+            edges.append((offsets[i], offsets[i + 1]))
+    if backbone_p > 0:
+        for u in range(total):
+            for v in range(u + 1, total):
+                if rng.random() < backbone_p:
+                    edges.append((u, v))
+    return Graph(total, edges, name=name or "planted")
+
+
+def rmat(scale: int, edge_factor: int, seed: int = 0,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19,
+         name: str = "") -> Graph:
+    """RMAT/Kronecker-style graph: ``2**scale`` vertices, skewed degrees."""
+    if scale < 1:
+        raise ParameterError(f"scale must be >= 1, got {scale}")
+    if edge_factor < 1:
+        raise ParameterError(f"edge_factor must be >= 1, got {edge_factor}")
+    total = a + b + c
+    if total >= 1.0:
+        raise ParameterError("a + b + c must be < 1")
+    rng = random.Random(seed)
+    n = 1 << scale
+    target_edges = n * edge_factor
+    edges = set()
+    attempts = 0
+    while len(edges) < target_edges and attempts < 20 * target_edges:
+        attempts += 1
+        u = v = 0
+        for _ in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                v |= 1
+            elif r < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges), name=name or f"rmat_{scale}")
+
+
+def random_bipartite_like(n_left: int, n_right: int, p: float, seed: int = 0,
+                          name: str = "") -> Graph:
+    """Bipartite random graph (triangle-free: a useful degenerate workload).
+
+    With no triangles there are no s-cliques for ``s >= 3``, so nucleus
+    decompositions beyond (1, 2) are trivially zero -- tests use this to
+    pin down edge-case behaviour.
+    """
+    rng = random.Random(seed)
+    edges = [(u, n_left + v) for u in range(n_left) for v in range(n_right)
+             if rng.random() < p]
+    return Graph(n_left + n_right, edges, name=name or "bipartite")
+
+
+def with_planted_communities(base: Graph, sizes: Sequence[int],
+                             p_in: float, seed: int = 0,
+                             name: str = "") -> Graph:
+    """Overlay dense communities onto an existing graph.
+
+    For each entry of ``sizes``, a random vertex group of that size gets
+    internal edges with probability ``p_in``. This produces the deep,
+    nested core structure of real social networks (which pure
+    preferential-attachment generators lack), while keeping the base
+    graph's degree distribution as the periphery.
+    """
+    if not 0.0 <= p_in <= 1.0:
+        raise ParameterError(f"p_in must be in [0, 1], got {p_in}")
+    for size in sizes:
+        if size < 2 or size > base.n:
+            raise ParameterError(
+                f"community size {size} invalid for base graph of {base.n}")
+    rng = random.Random(seed)
+    extra: List[Edge] = []
+    for size in sizes:
+        group = rng.sample(range(base.n), size)
+        for i, u in enumerate(group):
+            for v in group[i + 1:]:
+                if rng.random() < p_in:
+                    extra.append((u, v))
+    return Graph(base.n, list(base.edges()) + extra,
+                 name=name or f"{base.name}+communities")
+
+
+def tree_graph(n: int, seed: int = 0, name: str = "") -> Graph:
+    """Uniform random recursive tree (acyclic control workload)."""
+    _check_n(n)
+    rng = random.Random(seed)
+    edges = [(rng.randrange(v), v) for v in range(1, n)]
+    return Graph(n, edges, name=name or f"tree_{n}")

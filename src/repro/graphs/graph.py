@@ -1,0 +1,174 @@
+"""Immutable undirected simple graph in CSR-like form.
+
+The whole library operates on :class:`Graph`: vertices are ``0 .. n-1``,
+adjacency lists are sorted tuples, and the structure is immutable after
+construction (peeling algorithms remove *r-cliques*, never graph vertices,
+so the underlying graph never changes during a decomposition -- see
+DESIGN.md Section 5).
+
+Construction normalizes input edges: direction is ignored, duplicates are
+merged, and self-loops are rejected (the nucleus problem is defined on
+simple graphs, Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..errors import GraphFormatError
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """An undirected simple graph with sorted adjacency lists."""
+
+    __slots__ = ("n", "m", "_adj", "_adj_sets", "name")
+
+    def __init__(self, n: int, edges: Iterable[Edge], name: str = "") -> None:
+        if n < 0:
+            raise GraphFormatError(f"vertex count must be >= 0, got {n}")
+        self.n = n
+        self.name = name
+        seen: set = set()
+        adj: List[List[int]] = [[] for _ in range(n)]
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphFormatError(
+                    f"edge ({u}, {v}) out of range for {n} vertices")
+            if u == v:
+                raise GraphFormatError(f"self-loop at vertex {u}")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            adj[u].append(v)
+            adj[v].append(u)
+        self._adj: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(nbrs)) for nbrs in adj)
+        self._adj_sets: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(nbrs) for nbrs in self._adj)
+        self.m = len(seen)
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge], n: int = 0,
+                   name: str = "") -> "Graph":
+        """Build a graph, inferring ``n`` from the maximum endpoint if 0."""
+        edge_list = list(edges)
+        if n == 0:
+            n = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+        return cls(n, edge_list, name=name)
+
+    @classmethod
+    def empty(cls, n: int = 0, name: str = "") -> "Graph":
+        return cls(n, [], name=name)
+
+    @classmethod
+    def complete(cls, n: int, name: str = "") -> "Graph":
+        """The complete graph K_n."""
+        return cls(n, [(u, v) for u in range(n) for v in range(u + 1, n)],
+                   name=name or f"K{n}")
+
+    # -- queries ------------------------------------------------------------
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbors of ``v``."""
+        return self._adj[v]
+
+    def neighbor_set(self, v: int) -> FrozenSet[int]:
+        """Neighbors of ``v`` as a frozenset (O(1) membership)."""
+        return self._adj_sets[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def degrees(self) -> List[int]:
+        return [len(nbrs) for nbrs in self._adj]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            return False
+        return v in self._adj_sets[u]
+
+    def edges(self) -> Iterable[Edge]:
+        """All edges as (u, v) with u < v, in lexicographic order."""
+        for u in range(self.n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def vertices(self) -> range:
+        return range(self.n)
+
+    def max_degree(self) -> int:
+        return max((len(nbrs) for nbrs in self._adj), default=0)
+
+    def is_clique(self, vertices: Sequence[int]) -> bool:
+        """Whether the given vertices are pairwise adjacent."""
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            nbrs = self._adj_sets[u]
+            for v in vs[i + 1:]:
+                if v not in nbrs:
+                    return False
+        return True
+
+    # -- derived graphs ------------------------------------------------------
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Subgraph induced by ``vertices``; returns (graph, old->new map)."""
+        keep = sorted(set(vertices))
+        remap = {v: i for i, v in enumerate(keep)}
+        edges = [
+            (remap[u], remap[v]) for u in keep for v in self._adj[u]
+            if u < v and v in remap
+        ]
+        return Graph(len(keep), edges, name=f"{self.name}[sub]"), remap
+
+    def relabeled(self, permutation: Sequence[int]) -> "Graph":
+        """Graph with vertex ``v`` renamed ``permutation[v]``."""
+        if sorted(permutation) != list(range(self.n)):
+            raise GraphFormatError("relabeling must be a permutation of vertices")
+        return Graph(self.n,
+                     [(permutation[u], permutation[v]) for u, v in self.edges()],
+                     name=self.name)
+
+    # -- misc ------------------------------------------------------------
+
+    def density(self) -> float:
+        """Edge density ``m / C(n, 2)`` (1.0 for cliques, 0 for n < 2)."""
+        if self.n < 2:
+            return 0.0
+        return self.m / (self.n * (self.n - 1) / 2)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self.n == other.n and self._adj == other._adj
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._adj))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"Graph(n={self.n}, m={self.m}{label})"
+
+
+def union_disjoint(graphs: Sequence[Graph], name: str = "") -> Graph:
+    """Disjoint union of graphs (vertex ids shifted)."""
+    edges: List[Edge] = []
+    offset = 0
+    for g in graphs:
+        edges.extend((u + offset, v + offset) for u, v in g.edges())
+        offset += g.n
+    return Graph(offset, edges, name=name or "union")
+
+
+def overlay(n: int, *edge_groups: Iterable[Edge], name: str = "") -> Graph:
+    """Graph on ``n`` vertices from several edge collections (deduplicated)."""
+    edges: List[Edge] = []
+    for group in edge_groups:
+        edges.extend(group)
+    return Graph(n, edges, name=name)

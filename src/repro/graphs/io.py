@@ -1,0 +1,112 @@
+"""SNAP-style edge-list input/output.
+
+The paper's inputs are SNAP [37] graphs distributed as whitespace-separated
+edge lists with ``#`` comment lines. :func:`read_edge_list` accepts that
+format (with arbitrary vertex labels, which are densified to ``0..n-1``),
+and :func:`write_edge_list` produces it, so users can round-trip real SNAP
+downloads through this library unchanged.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from typing import Dict, List, TextIO, Tuple, Union
+
+from ..errors import GraphFormatError
+from .graph import Graph
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _is_gzip_path(path: PathOrFile) -> bool:
+    return str(path).endswith(".gz")
+
+
+def _open_for_read(source: PathOrFile) -> Tuple[TextIO, bool]:
+    if hasattr(source, "read"):
+        return source, False  # type: ignore[return-value]
+    if _is_gzip_path(source):
+        # SNAP distributes its edge lists gzip-compressed.
+        return gzip.open(source, "rt", encoding="utf-8"), True
+    return open(source, "r", encoding="utf-8"), True
+
+
+def _open_for_write(target: PathOrFile) -> Tuple[TextIO, bool]:
+    if hasattr(target, "write"):
+        return target, False  # type: ignore[return-value]
+    if _is_gzip_path(target):
+        return gzip.open(target, "wt", encoding="utf-8"), True
+    return open(target, "w", encoding="utf-8"), True
+
+
+def read_edge_list(source: PathOrFile, name: str = "",
+                   directed_ok: bool = True) -> Graph:
+    """Parse a SNAP-style edge list into a :class:`Graph`.
+
+    * lines starting with ``#`` or ``%`` are comments;
+    * each data line holds two whitespace-separated vertex labels (any
+      hashable token: integers are kept numeric-ordered, other labels are
+      densified in first-seen order);
+    * duplicate and reversed edges merge (SNAP ships many directed lists;
+      set ``directed_ok=False`` to reject files containing both (u,v) and
+      (v,u));
+    * self-loops are skipped (SNAP data contains a few).
+    """
+    handle, should_close = _open_for_read(source)
+    try:
+        labels: Dict[str, int] = {}
+        edges: List[Tuple[int, int]] = []
+        seen_directed = set()
+        has_reverse = False
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"line {lineno}: expected two tokens, got {stripped!r}")
+            a, b = parts[0], parts[1]
+            if a == b:
+                continue
+            ia = labels.setdefault(a, len(labels))
+            ib = labels.setdefault(b, len(labels))
+            if (ib, ia) in seen_directed:
+                has_reverse = True
+            seen_directed.add((ia, ib))
+            edges.append((ia, ib))
+        if has_reverse and not directed_ok:
+            raise GraphFormatError(
+                "edge list contains both directions of an edge")
+        # If every label is an integer, keep numeric order for stable ids.
+        if labels and all(k.lstrip("-").isdigit() for k in labels):
+            ordered = sorted(labels, key=int)
+            remap = {labels[k]: i for i, k in enumerate(ordered)}
+            edges = [(remap[u], remap[v]) for u, v in edges]
+        return Graph.from_edges(edges, n=len(labels), name=name)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_edge_list(graph: Graph, target: PathOrFile,
+                    header: bool = True) -> None:
+    """Write ``graph`` as a SNAP-style edge list (one ``u v`` line per edge)."""
+    handle, should_close = _open_for_write(target)
+    try:
+        if header:
+            handle.write(f"# Nodes: {graph.n} Edges: {graph.m}\n")
+            if graph.name:
+                handle.write(f"# Name: {graph.name}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def graph_from_string(text: str, name: str = "") -> Graph:
+    """Parse an edge list from an in-memory string (tests, examples)."""
+    return read_edge_list(io.StringIO(text), name=name)

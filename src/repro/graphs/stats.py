@@ -1,0 +1,111 @@
+"""Graph statistics used by the dataset registry and reports.
+
+Small, dependency-free analytics for characterizing workloads: degree
+distribution summaries, global/local clustering, degeneracy, and a
+one-call profile the benchmarks use to describe each stand-in graph the
+way the paper's Table 1 and surrounding prose describe the SNAP inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Dict, List, Tuple
+
+from .graph import Graph
+from .orientation import degeneracy_order
+
+
+def degree_summary(graph: Graph) -> Dict[str, float]:
+    """min / median / mean / max degree."""
+    degrees = graph.degrees()
+    if not degrees:
+        return {"min": 0.0, "median": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": float(min(degrees)),
+        "median": float(median(degrees)),
+        "mean": mean(degrees),
+        "max": float(max(degrees)),
+    }
+
+
+def degree_histogram(graph: Graph) -> List[Tuple[int, int]]:
+    """Sorted (degree, count) pairs."""
+    counts: Dict[int, int] = {}
+    for d in graph.degrees():
+        counts[d] = counts.get(d, 0) + 1
+    return sorted(counts.items())
+
+
+def global_clustering(graph: Graph) -> float:
+    """Transitivity: 3 * triangles / open-or-closed wedges."""
+    triangles = 0
+    wedges = 0
+    for v in range(graph.n):
+        d = graph.degree(v)
+        wedges += d * (d - 1) // 2
+        nbrs = graph.neighbor_set(v)
+        for u in graph.neighbors(v):
+            if u > v:
+                triangles += len(nbrs & graph.neighbor_set(u))
+    # each triangle counted once per edge with u > v => 3 times total
+    if wedges == 0:
+        return 0.0
+    return triangles / wedges
+
+
+def average_local_clustering(graph: Graph) -> float:
+    """Mean of per-vertex clustering coefficients (Watts-Strogatz)."""
+    if graph.n == 0:
+        return 0.0
+    total = 0.0
+    for v in range(graph.n):
+        d = graph.degree(v)
+        if d < 2:
+            continue
+        nbrs = graph.neighbors(v)
+        nbr_set = graph.neighbor_set(v)
+        links = 0
+        for i, u in enumerate(nbrs):
+            links += sum(1 for w in nbrs[i + 1:]
+                         if w in graph.neighbor_set(u))
+        total += 2 * links / (d * (d - 1))
+    return total / graph.n
+
+
+def degree_skew(graph: Graph) -> float:
+    """max degree / mean degree (hub-dominance indicator)."""
+    degrees = graph.degrees()
+    if not degrees or sum(degrees) == 0:
+        return 0.0
+    return max(degrees) / (sum(degrees) / len(degrees))
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """One-call characterization of a workload graph."""
+
+    name: str
+    n: int
+    m: int
+    max_degree: int
+    mean_degree: float
+    degeneracy: int
+    global_clustering: float
+    degree_skew: float
+
+
+def profile_graph(graph: Graph) -> GraphProfile:
+    """Compute the profile the dataset reports print."""
+    _, degeneracy = degeneracy_order(graph)
+    degrees = graph.degrees()
+    return GraphProfile(
+        name=graph.name,
+        n=graph.n,
+        m=graph.m,
+        max_degree=max(degrees, default=0),
+        mean_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        degeneracy=degeneracy,
+        global_clustering=global_clustering(graph),
+        degree_skew=degree_skew(graph),
+    )

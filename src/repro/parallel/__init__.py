@@ -1,0 +1,34 @@
+"""Simulated shared-memory parallel runtime (work-span model).
+
+This package is the substitution layer for the paper's ParlayLib-based C++
+parallelism (see DESIGN.md, Section 2): algorithms execute deterministically
+while metering work and span, and :mod:`repro.parallel.runtime` maps the
+measurements through Brent's bound to predict multi-core behaviour.
+"""
+
+from .atomics import (AtomicCell, AtomicStats, FlakyAtomicCell,
+                      fetch_and_add, write_min)
+from .hashtable import ParallelHashTable
+from .counters import (NullCounter, WorkSpanCounter, WorkSpanSnapshot,
+                       geometric_span, log2_ceil)
+from .list_ranking import (list_rank, lists_to_arrays, rank_and_order,
+                           validate_successors)
+from .primitives import (par_count, par_filter, par_flatten, par_hash_build,
+                         par_map, par_max, par_reduce, par_scan, par_semisort,
+                         par_sort)
+from .runtime import (DEFAULT_SPAN_CONSTANT, PAPER_MACHINE, MachineModel,
+                      amdahl_fraction, brent_time, format_speedup_table,
+                      max_useful_threads, self_relative_speedup,
+                      simulated_time, speedup_curve)
+
+__all__ = [
+    "ParallelHashTable", "AtomicCell", "AtomicStats", "FlakyAtomicCell", "fetch_and_add",
+    "write_min", "NullCounter", "WorkSpanCounter", "WorkSpanSnapshot",
+    "geometric_span", "log2_ceil", "list_rank", "lists_to_arrays",
+    "rank_and_order", "validate_successors", "par_count", "par_filter",
+    "par_flatten", "par_hash_build", "par_map", "par_max", "par_reduce",
+    "par_scan", "par_semisort", "par_sort", "DEFAULT_SPAN_CONSTANT",
+    "PAPER_MACHINE", "MachineModel", "amdahl_fraction", "brent_time",
+    "format_speedup_table", "max_useful_threads", "self_relative_speedup",
+    "simulated_time", "speedup_curve",
+]

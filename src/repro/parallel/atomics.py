@@ -1,0 +1,141 @@
+"""Atomic-operation model for concurrent data structures.
+
+The paper's concurrent structures (Jayanti-Tarjan union-find, the ``L``
+table in ``LINK-EFFICIENT``) synchronize with ``compare-and-swap``. This
+module provides:
+
+* :class:`AtomicCell` -- the single-threaded model used during normal runs:
+  CAS succeeds exactly when the expected value matches, which is the
+  sequentially-consistent semantics the algorithms rely on. Operation counts
+  are still recorded so benchmarks can report CAS totals.
+* :class:`FlakyAtomicCell` -- a fault-injection variant whose CAS spuriously
+  fails on a caller-controlled schedule. Tests use it to exercise the retry
+  loops in ``LINK-EFFICIENT`` (Algorithm 5, lines 12-27) and the union-find,
+  which in a real multicore run would be triggered by contention.
+
+Serializing the physical interleavings is the documented substitution for
+shared-memory threads (see DESIGN.md); the algorithmic structure -- retry
+loops, idempotent re-linking, helping -- executes unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class AtomicStats:
+    """Shared operation counters for a family of atomic cells."""
+
+    __slots__ = ("loads", "stores", "cas_attempts", "cas_failures")
+
+    def __init__(self) -> None:
+        self.loads = 0
+        self.stores = 0
+        self.cas_attempts = 0
+        self.cas_failures = 0
+
+    def reset(self) -> None:
+        self.loads = 0
+        self.stores = 0
+        self.cas_attempts = 0
+        self.cas_failures = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AtomicStats(loads={self.loads}, stores={self.stores}, "
+                f"cas={self.cas_attempts}, failed={self.cas_failures})")
+
+
+class AtomicCell(Generic[T]):
+    """A memory cell supporting load / store / compare-and-swap.
+
+    In the single-threaded simulation a CAS fails only on a genuine value
+    mismatch, matching what any linearization of the concurrent execution
+    would produce for the algorithms in this library (their CAS loops re-read
+    state on failure and retry).
+    """
+
+    __slots__ = ("_value", "_stats")
+
+    def __init__(self, value: T, stats: Optional[AtomicStats] = None) -> None:
+        self._value = value
+        self._stats = stats
+
+    def load(self) -> T:
+        if self._stats is not None:
+            self._stats.loads += 1
+        return self._value
+
+    def store(self, value: T) -> None:
+        if self._stats is not None:
+            self._stats.stores += 1
+        self._value = value
+
+    def compare_and_swap(self, expected: T, new: T) -> bool:
+        """Atomically replace ``expected`` with ``new``; report success."""
+        if self._stats is not None:
+            self._stats.cas_attempts += 1
+        if self._value == expected:
+            self._value = new
+            return True
+        if self._stats is not None:
+            self._stats.cas_failures += 1
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCell({self._value!r})"
+
+
+class FlakyAtomicCell(AtomicCell[T]):
+    """An :class:`AtomicCell` whose CAS can be forced to fail.
+
+    ``failure_schedule`` yields booleans; when it yields ``True`` the next
+    CAS fails spuriously (as if another thread won the race) *and* the
+    injected ``interference`` callback may mutate the cell first, modelling
+    the competing write. Once the schedule is exhausted the cell behaves
+    normally.
+    """
+
+    __slots__ = ("_schedule", "_interference")
+
+    def __init__(self, value: T,
+                 failure_schedule: Iterator[bool],
+                 interference: Optional[Callable[["FlakyAtomicCell[T]"], None]] = None,
+                 stats: Optional[AtomicStats] = None) -> None:
+        super().__init__(value, stats)
+        self._schedule = iter(failure_schedule)
+        self._interference = interference
+
+    def compare_and_swap(self, expected: T, new: T) -> bool:
+        should_fail = next(self._schedule, False)
+        if should_fail:
+            if self._stats is not None:
+                self._stats.cas_attempts += 1
+                self._stats.cas_failures += 1
+            if self._interference is not None:
+                self._interference(self)
+            return False
+        return super().compare_and_swap(expected, new)
+
+
+def write_min(cell: AtomicCell[Any], value: Any) -> bool:
+    """Atomically lower ``cell`` to ``value`` if it is currently larger.
+
+    The standard priority-write primitive built from a CAS loop; returns
+    whether this call performed the final successful write.
+    """
+    while True:
+        current = cell.load()
+        if value >= current:
+            return False
+        if cell.compare_and_swap(current, value):
+            return True
+
+
+def fetch_and_add(cell: AtomicCell[int], delta: int) -> int:
+    """Atomically add ``delta``; return the previous value."""
+    while True:
+        current = cell.load()
+        if cell.compare_and_swap(current, current + delta):
+            return current

@@ -1,0 +1,177 @@
+"""Work-span instrumentation for simulated parallel execution.
+
+The paper analyzes algorithms in the *work-span* model (Section 3): the
+**work** ``W`` is the total number of operations and the **span** ``S`` is the
+length of the longest dependency chain. A randomized work-stealing scheduler
+on ``P`` processors achieves expected running time ``W/P + O(S)`` (Brent's
+bound / Blumofe-Leiserson).
+
+CPython's GIL prevents real shared-memory parallel speedups, so this module
+is the substitution layer: algorithms execute deterministically on one thread
+while metering the work and span that the genuinely parallel execution would
+incur. Downstream, :mod:`repro.parallel.runtime` maps the metered quantities
+through Brent's bound to predict multi-processor running times, which is what
+the scalability experiments (Figure 8) report.
+
+Conventions used throughout the library:
+
+* one unit of work = one constant-time operation on the data being processed
+  (a comparison, a hash-table probe, a pointer hop, ...);
+* a *parallel round* over ``n`` items contributes ``n * w`` work but only the
+  per-item span (typically ``O(1)`` or ``O(log n)``) to the span;
+* sequential code contributes equally to work and span.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def log2_ceil(n: int) -> int:
+    """Return ``ceil(log2(n))`` for ``n >= 1`` (0 for ``n <= 1``).
+
+    Used to charge the span of tree-shaped parallel combines (reductions,
+    scans, parallel hash-table construction) without floating-point noise.
+    """
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+@dataclass
+class WorkSpanSnapshot:
+    """An immutable reading of a :class:`WorkSpanCounter`."""
+
+    work: int
+    span: int
+
+    def __sub__(self, other: "WorkSpanSnapshot") -> "WorkSpanSnapshot":
+        return WorkSpanSnapshot(self.work - other.work, self.span - other.span)
+
+    @property
+    def parallelism(self) -> float:
+        """Average parallelism ``W / S`` (the maximum useful processor count)."""
+        if self.span == 0:
+            return float(self.work) if self.work else 1.0
+        return self.work / self.span
+
+
+class WorkSpanCounter:
+    """Accumulates work and span for one (simulated) parallel computation.
+
+    The counter is deliberately simple: algorithms call :meth:`add_parallel`
+    when they finish a parallel round, :meth:`add_serial` for sequential
+    sections, and :meth:`add_work` for work whose span was already charged.
+    There is no automatic nesting machinery -- each algorithm knows its own
+    round structure, and the tests check the resulting totals against the
+    paper's bounds on small instances.
+    """
+
+    __slots__ = ("work", "span")
+
+    def __init__(self) -> None:
+        self.work = 0
+        self.span = 0
+
+    # -- recording -------------------------------------------------------
+
+    def add_work(self, work: int) -> None:
+        """Add work that happened within an already-charged span."""
+        self.work += work
+
+    def add_span(self, span: int) -> None:
+        """Add span for a dependency chain whose work was already charged."""
+        self.span += span
+
+    def add_serial(self, work: int) -> None:
+        """Add a sequential section: contributes equally to work and span."""
+        self.work += work
+        self.span += work
+
+    def add_parallel(self, work: int, span: int = 1) -> None:
+        """Add one parallel round: ``work`` total operations, ``span`` depth."""
+        self.work += work
+        self.span += span
+
+    def add_parallel_for(self, n_items: int, work_per_item: int = 1) -> None:
+        """Charge a flat parallel-for over ``n_items``.
+
+        Work is ``n_items * work_per_item``; span is the per-item cost plus
+        the ``O(log n)`` fork-join overhead of spawning the loop.
+        """
+        if n_items <= 0:
+            return
+        self.work += n_items * work_per_item
+        self.span += work_per_item + log2_ceil(n_items)
+
+    def merge(self, other: "WorkSpanCounter") -> None:
+        """Fold another counter in sequentially (work adds, span adds)."""
+        self.work += other.work
+        self.span += other.span
+
+    def merge_parallel(self, other: "WorkSpanCounter") -> None:
+        """Fold another counter in as a parallel sibling (span maxes)."""
+        self.work += other.work
+        self.span = max(self.span, other.span)
+
+    # -- reading ---------------------------------------------------------
+
+    def snapshot(self) -> WorkSpanSnapshot:
+        return WorkSpanSnapshot(self.work, self.span)
+
+    def reset(self) -> None:
+        self.work = 0
+        self.span = 0
+
+    @property
+    def parallelism(self) -> float:
+        """Average parallelism ``W / S``."""
+        return self.snapshot().parallelism
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkSpanCounter(work={self.work}, span={self.span})"
+
+
+class NullCounter(WorkSpanCounter):
+    """A counter that ignores everything.
+
+    Passed to algorithms when instrumentation is not wanted (e.g. in the
+    wall-clock benchmarks, where metering overhead would distort timings).
+    All recording methods are no-ops; reads always return zero.
+    """
+
+    __slots__ = ()
+
+    def add_work(self, work: int) -> None:  # noqa: D102 - inherited docs
+        pass
+
+    def add_span(self, span: int) -> None:
+        pass
+
+    def add_serial(self, work: int) -> None:
+        pass
+
+    def add_parallel(self, work: int, span: int = 1) -> None:
+        pass
+
+    def add_parallel_for(self, n_items: int, work_per_item: int = 1) -> None:
+        pass
+
+    def merge(self, other: WorkSpanCounter) -> None:
+        pass
+
+    def merge_parallel(self, other: WorkSpanCounter) -> None:
+        pass
+
+
+def geometric_span(n: int, base: float = 2.0) -> int:
+    """Span of a contraction process that shrinks ``n`` by ``base`` per round.
+
+    Several primitives (hook-and-contract connectivity, pointer jumping)
+    run for ``ceil(log_base(n))`` rounds; this helper keeps that charge in
+    one place.
+    """
+    if n <= 1:
+        return 0
+    return max(1, math.ceil(math.log(n, base)))

@@ -1,0 +1,184 @@
+"""A linear-probing parallel hash table (Gil-Matias-Vishkin model [25]).
+
+The paper's preliminaries assume parallel hash tables supporting ``n``
+inserts/deletes/queries in ``O(n)`` work and ``O(log n)`` span w.h.p. This
+module implements the standard concurrent open-addressing design those
+bounds describe:
+
+* a slot array of (key, value) pairs; insertion claims a slot by CAS on
+  its key cell, so concurrent inserts of distinct keys never collide and
+  concurrent inserts of the same key linearize (first CAS wins, the loser
+  re-probes and lands on the winner's slot);
+* deletion marks tombstones (slots are never un-claimed, as in the
+  lock-free versions);
+* the table grows by rebuilding at 50% load, amortizing to O(1) per
+  insert.
+
+:class:`~repro.core.hierarchy_te` uses it for Algorithm 1's per-level
+``L_i`` tables, and tests drive it against a dict model (property-based)
+including forced CAS contention.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..errors import DataStructureError
+from .atomics import AtomicCell, AtomicStats
+from .counters import NullCounter, WorkSpanCounter, log2_ceil
+
+#: Slot states for the key cells.
+_EMPTY = object()
+_TOMBSTONE = object()
+
+
+class ParallelHashTable:
+    """Open-addressing hash table with CAS-claimed slots.
+
+    Keys may be any hashable; values any object. ``set`` overwrites,
+    ``setdefault`` is the atomic insert-if-absent the parallel algorithms
+    use. Iteration order is probe order (deterministic for a fixed
+    insertion history).
+    """
+
+    _MIN_CAPACITY = 8
+
+    def __init__(self, capacity: int = _MIN_CAPACITY,
+                 counter: Optional[WorkSpanCounter] = None) -> None:
+        capacity = max(self._MIN_CAPACITY, capacity)
+        self._counter = counter if counter is not None else NullCounter()
+        self.atomic_stats = AtomicStats()
+        self._init_slots(1 << (capacity - 1).bit_length())
+        self._size = 0
+        self._used = 0  # live + tombstoned slots
+
+    def _init_slots(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._keys: List[AtomicCell[Any]] = [
+            AtomicCell(_EMPTY, self.atomic_stats) for _ in range(capacity)]
+        self._values: List[Any] = [None] * capacity
+
+    # -- internals ---------------------------------------------------------
+
+    def _probe(self, key: Any) -> Iterator[int]:
+        mask = self._capacity - 1
+        index = hash(key) & mask
+        for step in range(self._capacity):
+            yield (index + step) & mask
+
+    def _grow(self) -> None:
+        entries = list(self.items())
+        self._init_slots(self._capacity * 2)
+        self._size = 0
+        self._used = 0
+        for key, value in entries:
+            self._insert(key, value, overwrite=True)
+
+    def _insert(self, key: Any, value: Any, overwrite: bool) -> Any:
+        if 2 * (self._used + 1) > self._capacity:
+            self._grow()
+        for index in self._probe(key):
+            current = self._keys[index].load()
+            if current is _EMPTY:
+                # Claim the slot; a CAS failure means another insert won
+                # the race for this slot -- re-read and fall through.
+                if self._keys[index].compare_and_swap(_EMPTY, key):
+                    self._values[index] = value
+                    self._size += 1
+                    self._used += 1
+                    return value
+                current = self._keys[index].load()
+            if current is _TOMBSTONE:
+                continue
+            if current == key:
+                if overwrite:
+                    self._values[index] = value
+                    return value
+                return self._values[index]
+        raise DataStructureError("hash table probe exhausted (bug)")
+
+    # -- public API ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, _EMPTY) is not _EMPTY
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._counter.add_work(1)
+        for index in self._probe(key):
+            current = self._keys[index].load()
+            if current is _EMPTY:
+                return default
+            if current is _TOMBSTONE:
+                continue
+            if current == key:
+                return self._values[index]
+        return default
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self.get(key, _EMPTY)
+        if value is _EMPTY:
+            raise KeyError(key)
+        return value
+
+    def set(self, key: Any, value: Any) -> None:
+        """Insert or overwrite."""
+        self._counter.add_work(1)
+        self._insert(key, value, overwrite=True)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.set(key, value)
+
+    def setdefault(self, key: Any, value: Any) -> Any:
+        """Atomic insert-if-absent; returns the winning value."""
+        self._counter.add_work(1)
+        return self._insert(key, value, overwrite=False)
+
+    def pop(self, key: Any, default: Any = _EMPTY) -> Any:
+        """Remove ``key``; tombstones its slot."""
+        self._counter.add_work(1)
+        for index in self._probe(key):
+            current = self._keys[index].load()
+            if current is _EMPTY:
+                break
+            if current is _TOMBSTONE:
+                continue
+            if current == key:
+                value = self._values[index]
+                self._keys[index].store(_TOMBSTONE)
+                self._values[index] = None
+                self._size -= 1
+                return value
+        if default is _EMPTY:
+            raise KeyError(key)
+        return default
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        for index in range(self._capacity):
+            current = self._keys[index].load()
+            if current is not _EMPTY and current is not _TOMBSTONE:
+                yield current, self._values[index]
+
+    def keys(self) -> Iterator[Any]:
+        return (k for k, _ in self.items())
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.keys()
+
+    def values(self) -> Iterator[Any]:
+        return (v for _, v in self.items())
+
+    def charge_batch(self, n_operations: int) -> None:
+        """Charge the parallel cost of a batch of ``n_operations``.
+
+        ``n`` hash-table operations cost O(n) work and O(log n) span
+        w.h.p. [25]; algorithms call this once per parallel round.
+        """
+        self._counter.add_parallel(max(n_operations, 1),
+                                   1 + log2_ceil(max(n_operations, 1)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ParallelHashTable(size={self._size}, "
+                f"capacity={self._capacity})")

@@ -1,0 +1,137 @@
+"""Parallel list ranking by pointer jumping (Section 3 primitive).
+
+Algorithm 1 (line 14) converts the linked lists stored in each ``L_i`` hash
+table into arrays with list ranking so their elements can be written out in
+parallel. For a linked list of ``n`` elements, pointer jumping solves list
+ranking in ``O(n log n)`` work and ``O(log n)`` span; the work-optimal
+``O(n)`` variant exists but the paper's bound only needs the span, and the
+library charges the work-optimal cost (matching the proof of Theorem 5.1,
+which charges work linear in list length) while executing pointer jumping.
+
+Lists are represented positionally: ``successor[i]`` is the index of the
+element after ``i``, or ``-1`` at a list tail. One successor array may hold
+many disjoint lists; every element is ranked relative to its own tail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import DataStructureError
+from .counters import WorkSpanCounter, log2_ceil
+
+
+def validate_successors(successor: Sequence[int]) -> None:
+    """Check that ``successor`` encodes disjoint simple lists (no cycles).
+
+    Raises :class:`DataStructureError` on an out-of-range pointer, a node
+    with two predecessors, or a cycle.
+    """
+    n = len(successor)
+    indegree = [0] * n
+    for i, nxt in enumerate(successor):
+        if nxt == -1:
+            continue
+        if not 0 <= nxt < n:
+            raise DataStructureError(
+                f"successor[{i}] = {nxt} is out of range for {n} elements")
+        if nxt == i:
+            raise DataStructureError(f"element {i} points to itself")
+        indegree[nxt] += 1
+        if indegree[nxt] > 1:
+            raise DataStructureError(
+                f"element {nxt} has multiple predecessors")
+    # A cycle now can only be a rho-free pure cycle: every node on it has
+    # indegree 1 and it is never reached from an indegree-0 head.
+    visited = [False] * n
+    for head in range(n):
+        if indegree[head] != 0:
+            continue
+        i = head
+        while i != -1 and not visited[i]:
+            visited[i] = True
+            i = successor[i]
+    if not all(visited[i] or successor[i] == -1 for i in range(n)):
+        unvisited = [i for i in range(n)
+                     if not visited[i] and successor[i] != -1]
+        raise DataStructureError(f"cycle detected involving {unvisited[:5]}")
+
+
+def list_rank(successor: Sequence[int],
+              counter: WorkSpanCounter) -> List[int]:
+    """Distance of each element to the end of its list (tail rank 0).
+
+    Pointer jumping: every round, each element adds its successor's
+    accumulated distance and jumps its pointer two hops ahead; after
+    ``ceil(log2 n)`` rounds all pointers reach the tails.
+    """
+    n = len(successor)
+    if n == 0:
+        return []
+    nxt = list(successor)
+    dist = [0 if p == -1 else 1 for p in nxt]
+    rounds = log2_ceil(n)
+    for _ in range(max(rounds, 1)):
+        counter.add_parallel(n, 1)
+        changed = False
+        new_nxt = list(nxt)
+        new_dist = list(dist)
+        for i in range(n):
+            j = nxt[i]
+            if j != -1:
+                new_dist[i] = dist[i] + dist[j]
+                new_nxt[i] = nxt[j]
+                changed = True
+        nxt, dist = new_nxt, new_dist
+        if not changed:
+            break
+    return dist
+
+
+def lists_to_arrays(heads: Sequence[int], successor: Sequence[int],
+                    counter: WorkSpanCounter) -> List[List[int]]:
+    """Materialize each list (given by its head) as an array, in parallel.
+
+    This is exactly the Algorithm 1 (line 14) operation: rank every element,
+    allocate one output array per list, and write each element to slot
+    ``len - 1 - rank`` -- all slots are written independently, hence the
+    parallel charge. Returns the arrays in ``heads`` order.
+    """
+    n = len(successor)
+    ranks = list_rank(successor, counter)
+    # Identify, for each element, which list (head) it belongs to, by
+    # walking from each head; the walk cost is the total list length, which
+    # is the same O(sum len) work the parallel write incurs.
+    out: List[List[int]] = []
+    counter.add_parallel(n, 1 + log2_ceil(max(n, 1)))
+    for head in heads:
+        if head == -1:
+            out.append([])
+            continue
+        length = ranks[head] + 1
+        arr = [-1] * length
+        i = head
+        while i != -1:
+            arr[length - 1 - ranks[i]] = i
+            i = successor[i]
+        out.append(arr)
+    return out
+
+
+def rank_and_order(successor: Sequence[int],
+                   counter: WorkSpanCounter) -> Tuple[List[int], List[int]]:
+    """Return ``(ranks, order)`` where ``order`` lists elements tail-last.
+
+    ``order`` is a stable flattening of all lists: elements of each list
+    appear consecutively head-to-tail. Convenience wrapper used by tests.
+    """
+    n = len(successor)
+    ranks = list_rank(successor, counter)
+    heads = set(range(n)) - {s for s in successor if s != -1}
+    order: List[int] = []
+    for head in sorted(heads):
+        i = head
+        while i != -1:
+            order.append(i)
+            i = successor[i]
+    return ranks, order

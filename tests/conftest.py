@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nucleus import peel_exact, prepare
+from repro.graphs import (Graph, erdos_renyi, planted_nuclei,
+                          powerlaw_cluster)
+
+#: (r, s) pairs exercised by the cross-validation tests. Small enough to be
+#: fast on tiny graphs, wide enough to cover r=1, equal gaps, and big gaps.
+RS_PAIRS = [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (3, 5)]
+
+
+@pytest.fixture(scope="session")
+def triangle_graph() -> Graph:
+    """A single triangle."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+@pytest.fixture(scope="session")
+def two_triangles_bridge() -> Graph:
+    """Two triangles joined by a bridge edge -- the smallest interesting
+
+    hierarchy: each triangle is a 1-(2,3) nucleus; the bridge edge has
+    (2,3) core 0.
+    """
+    return Graph(6, [(0, 1), (1, 2), (0, 2),
+                     (3, 4), (4, 5), (3, 5), (2, 3)], name="two-triangles")
+
+
+@pytest.fixture(scope="session")
+def paper_like_graph() -> Graph:
+    """A graph shaped like the paper's Figure 1: nested dense blocks.
+
+    A K6 (deep core) inside a looser community, a separate K4 community,
+    both hanging off a sparse periphery -- produces a multi-level (1,3)
+    and (2,3) hierarchy.
+    """
+    edges = []
+    # K6 on 0-5
+    for a in range(6):
+        for b in range(a + 1, 6):
+            edges.append((a, b))
+    # Looser shell 6-9 around the K6
+    edges += [(6, 0), (6, 1), (7, 1), (7, 2), (8, 2), (8, 3), (9, 0),
+              (9, 3), (6, 7), (7, 8), (8, 9), (9, 6)]
+    # Separate K4 on 10-13, bridged to the shell
+    for a in range(10, 14):
+        for b in range(a + 1, 14):
+            edges.append((a, b))
+    edges += [(9, 10)]
+    # Sparse periphery
+    edges += [(13, 14), (14, 15), (15, 16)]
+    return Graph(17, edges, name="paper-like")
+
+
+@pytest.fixture(scope="session")
+def planted() -> Graph:
+    """Cliques of sizes 6, 5, 4 chained by bridges (known core numbers)."""
+    return planted_nuclei([6, 5, 4], bridge=True)
+
+
+@pytest.fixture(scope="session")
+def social_graph() -> Graph:
+    """A small clique-rich social-network-like graph."""
+    return powerlaw_cluster(120, 4, 0.8, seed=7)
+
+
+def random_graphs(count: int = 4, n: int = 28, p: float = 0.3):
+    """A deterministic family of small random graphs for sweeps."""
+    return [erdos_renyi(n, p, seed=seed) for seed in range(count)]
+
+
+def oracle_chain(graph: Graph, r: int, s: int):
+    """(prepared, exact coreness, oracle partition chain) for a graph."""
+    from repro.baselines.naive_hierarchy import naive_hierarchy
+    prep = prepare(graph, r, s)
+    result = peel_exact(prep.incidence)
+    tree = naive_hierarchy(prep.incidence, result.core)
+    return prep, result, tree.partition_chain()

@@ -1,0 +1,115 @@
+"""Unit tests for the analysis helpers (density, errors, reporting)."""
+
+import pytest
+
+from repro.analysis.density import (densest_nucleus, density_profile,
+                                    edge_density, nucleus_vertices)
+from repro.analysis.errors import (ErrorSummary, multiplicative_errors,
+                                   summarize_errors)
+from repro.analysis.reporting import (banner, format_series, format_slowdowns,
+                                      format_table)
+from repro.cliques.index import CliqueIndex
+from repro.core.framework import anh_el
+from repro.core.nucleus import prepare
+from repro.errors import ParameterError
+from repro.graphs.generators import planted_nuclei
+from repro.graphs.graph import Graph
+
+
+class TestDensity:
+    def test_edge_density_extremes(self):
+        k4 = Graph.complete(4)
+        assert edge_density(k4, [0, 1, 2, 3]) == pytest.approx(1.0)
+        empty = Graph.empty(4)
+        assert edge_density(empty, [0, 1, 2]) == 0.0
+        assert edge_density(k4, [0]) == 0.0
+
+    def test_nucleus_vertices_unions_cliques(self):
+        idx = CliqueIndex([(0, 1), (1, 2)])
+        assert nucleus_vertices(idx, [0, 1]) == {0, 1, 2}
+
+    def test_density_profile_on_planted_cliques(self):
+        g = planted_nuclei([5, 4], bridge=True)
+        out = anh_el(g, 2, 3)
+        prep = prepare(g, 2, 3)
+        profile = density_profile(g, prep.index, out.tree)
+        assert profile  # nuclei exist
+        # the deepest nucleus is the K5 at full density
+        top = profile[0]
+        assert top.level == 3
+        assert top.n_vertices == 5
+        assert top.density == pytest.approx(1.0)
+
+    def test_densest_nucleus(self):
+        g = planted_nuclei([6, 4], bridge=True)
+        out = anh_el(g, 2, 3)
+        prep = prepare(g, 2, 3)
+        best = densest_nucleus(g, prep.index, out.tree, min_vertices=5)
+        assert best.n_vertices == 6
+        assert best.density == pytest.approx(1.0)
+
+    def test_densest_nucleus_empty_tree(self):
+        g = Graph(4, [(0, 1), (2, 3)])  # no triangles
+        out = anh_el(g, 2, 3)
+        prep = prepare(g, 2, 3)
+        best = densest_nucleus(g, prep.index, out.tree)
+        assert best.n_vertices == 0 and best.density == 0.0
+
+
+class TestErrors:
+    def test_ratios_exclude_zero_cores(self):
+        ratios = multiplicative_errors([0, 2, 4], [0, 3, 4])
+        assert ratios == [1.5, 1.0]
+
+    def test_underestimate_rejected(self):
+        with pytest.raises(ParameterError):
+            multiplicative_errors([2], [1])
+
+    def test_nonzero_estimate_for_zero_core_rejected(self):
+        with pytest.raises(ParameterError):
+            multiplicative_errors([0], [1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            multiplicative_errors([1], [1, 1])
+
+    def test_summary_statistics(self):
+        s = summarize_errors([1, 2, 4, 0], [1, 3, 4, 0])
+        assert s.n_compared == 3
+        assert s.median_error == 1.0
+        assert s.max_error == 1.5
+        assert s.max_core_error == pytest.approx(1.0)
+
+    def test_summary_on_all_zero(self):
+        s = summarize_errors([0, 0], [0, 0])
+        assert s.n_compared == 0
+        assert s.mean_error == 1.0
+        assert s.max_core_error == 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(("name", "value"), [("a", 1.23456), ("bb", 7)],
+                           title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "1.235" in out
+        assert all(len(line) <= 40 for line in lines)
+
+    def test_format_table_huge_and_tiny_floats(self):
+        out = format_table(("x",), [(123456.0,), (0.00001,)])
+        assert "e+" in out and "e-" in out
+
+    def test_format_slowdowns_marks_timeouts(self):
+        out = format_slowdowns(["fast", "slow", "dead"],
+                               [0.5, 1.0, float("inf")])
+        assert "1.00x" in out and "2.00x" in out
+        assert "OOM/timeout" in out
+        assert "fastest: 0.5" in out
+
+    def test_format_series(self):
+        out = format_series("threads", [1, 2], {"dblp": [1.0, 1.9]})
+        assert "threads" in out and "dblp" in out
+
+    def test_banner(self):
+        assert "Figure 6" in banner("Figure 6")

@@ -1,0 +1,144 @@
+"""Unit + property tests for APPROX-ARB-NUCLEUS (Algorithm 2)."""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import oracle_chain
+from repro.baselines.naive_hierarchy import naive_hierarchy
+from repro.core.approx import (approx_anh_bl, approx_anh_el, approx_anh_te,
+                               approx_arb_nucleus, approximation_bound,
+                               peel_approx)
+from repro.core.nucleus import arb_nucleus, peel_exact, prepare
+from repro.errors import ParameterError
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph
+
+
+class TestBound:
+    def test_bound_formula(self):
+        assert approximation_bound(3, 0.5) == pytest.approx(3.5 * 1.5)
+
+    @settings(deadline=None, max_examples=15)
+    @given(pairs=st.sets(st.tuples(st.integers(0, 12), st.integers(0, 12)),
+                         max_size=45),
+           rs=st.sampled_from([(1, 2), (2, 3), (2, 4), (3, 4)]),
+           delta=st.sampled_from([0.1, 0.5, 1.0]))
+    def test_estimates_within_proven_factor(self, pairs, rs, delta):
+        """Theorem 6.3: exact <= estimate <= (C+d)(1+d) * exact."""
+        r, s = rs
+        g = Graph(13, [(u, v) for u, v in pairs if u != v])
+        prep = prepare(g, r, s)
+        if prep.n_r == 0:
+            return
+        exact = peel_exact(prep.incidence).core
+        approx = peel_approx(prep.incidence, delta).core
+        bound = approximation_bound(comb(s, r), delta)
+        for e, a in zip(exact, approx):
+            if e == 0:
+                assert a == 0
+            else:
+                assert e <= a <= bound * e + 1e-9
+
+    def test_zero_core_cliques_estimated_zero(self):
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (3, 4)])  # isolated edge
+        prep = prepare(g, 2, 3)
+        approx = peel_approx(prep.incidence, 0.5)
+        isolated = prep.index.id_of((3, 4))
+        assert approx.core[isolated] == 0
+
+
+class TestRounds:
+    def test_fewer_rounds_than_exact_on_deep_graph(self):
+        g = planted_nuclei([10, 9, 8, 7, 6], backbone_p=0.04, seed=3)
+        prep = prepare(g, 2, 3)
+        exact = peel_exact(prep.incidence)
+        approx = peel_approx(prep.incidence, 0.5)
+        assert approx.rho < exact.rho
+
+    def test_rounds_shrink_with_larger_delta(self):
+        g = planted_nuclei([10, 9, 8, 7], backbone_p=0.05, seed=5)
+        prep = prepare(g, 2, 3)
+        tight = peel_approx(prep.incidence, 0.1).rho
+        loose = peel_approx(prep.incidence, 1.0).rho
+        assert loose <= tight
+
+    def test_round_cap_override(self):
+        g = erdos_renyi(25, 0.35, seed=4)
+        prep = prepare(g, 2, 3)
+        generous = peel_approx(prep.incidence, 0.5)
+        stingy = peel_approx(prep.incidence, 0.5, round_cap=1)
+        # A stingy cap can only promote more cliques to higher buckets.
+        assert (stingy.stats["bucket_promotions"]
+                >= generous.stats["bucket_promotions"])
+        # Estimates must still dominate the exact cores.
+        exact = peel_exact(prep.incidence).core
+        assert all(a >= e for a, e in zip(stingy.core, exact))
+
+
+class TestValidation:
+    def test_delta_must_be_positive(self):
+        g = Graph.complete(4)
+        with pytest.raises(ParameterError):
+            approx_arb_nucleus(g, 2, 3, delta=0)
+        prep = prepare(g, 2, 3)
+        with pytest.raises(ParameterError):
+            peel_approx(prep.incidence, -1)
+
+    def test_core_out_filled(self):
+        prep = prepare(Graph.complete(5), 2, 3)
+        sink = [0.0] * prep.n_r
+        res = peel_approx(prep.incidence, 0.5, core_out=sink)
+        assert res.core is sink
+
+    def test_stats_recorded(self):
+        res = approx_arb_nucleus(erdos_renyi(25, 0.3, seed=2), 2, 3, 0.5)
+        assert "round_cap" in res.stats
+        assert res.stats["round_cap"] >= 1
+
+
+class TestApproxHierarchies:
+    @pytest.mark.parametrize("algorithm", [approx_anh_el, approx_anh_bl,
+                                           approx_anh_te])
+    def test_tree_matches_oracle_on_estimates(self, algorithm, social_graph):
+        prep = prepare(social_graph, 2, 3)
+        estimates = peel_approx(prep.incidence, 0.5)
+        oracle = naive_hierarchy(prep.incidence,
+                                 estimates.core).partition_chain()
+        out = algorithm(social_graph, 2, 3, delta=0.5, prepared=prep)
+        assert out.coreness.core == estimates.core
+        assert out.tree.partition_chain() == oracle
+
+    def test_theoretical_te_variant(self, social_graph):
+        prep = prepare(social_graph, 2, 3)
+        practical = approx_anh_te(social_graph, 2, 3, delta=0.5,
+                                  prepared=prep)
+        theoretical = approx_anh_te(social_graph, 2, 3, delta=0.5,
+                                    prepared=prep, theoretical=True)
+        assert (practical.tree.partition_chain()
+                == theoretical.tree.partition_chain())
+
+    def test_approx_hierarchy_coarsens_exact(self, social_graph):
+        """Approximation can only merge levels, never split nuclei wrongly:
+
+        every exact nucleus at level c is contained in some approximate
+        nucleus at a level <= c (estimates only grow).
+        """
+        prep = prepare(social_graph, 2, 3)
+        exact = peel_exact(prep.incidence)
+        out = approx_anh_el(social_graph, 2, 3, delta=0.5, prepared=prep)
+        exact_tree = naive_hierarchy(prep.incidence, exact.core)
+        for c in exact_tree.distinct_levels():
+            for nucleus in exact_tree.nuclei_at(c):
+                containers = [n for n in out.tree.nuclei_at(c)
+                              if set(nucleus) <= set(n)]
+                assert containers, (c, nucleus)
+
+    def test_approx_tree_height_bounded_by_bucket_count(self, social_graph):
+        """Polylog levels: distinct estimates <= geometric bucket count."""
+        out = approx_anh_el(social_graph, 2, 3, delta=1.0)
+        n_levels = len(out.tree.distinct_levels())
+        # estimates take at most (#buckets + #distinct refined degrees
+        # below their bucket bound) values; with delta=1 this is tiny.
+        assert n_levels <= 2 * (out.coreness.stats["round_cap"] + 20)

@@ -1,0 +1,140 @@
+"""Unit + property tests for the geometric range bucketing (Algorithm 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.approx_bucketing import (GeometricBucketQueue, bucket_of_degree,
+                                       bucket_upper_bound, default_round_cap)
+from repro.errors import DataStructureError, ParameterError
+
+
+class TestBucketMath:
+    def test_bucket_zero_covers_small_degrees(self):
+        base, growth = 3.5, 1.5
+        assert bucket_of_degree(0, base, growth) == 0
+        assert bucket_of_degree(3, base, growth) == 0
+
+    @given(st.floats(0, 10 ** 6, allow_nan=False),
+           st.floats(1.01, 20), st.floats(1.001, 3))
+    def test_degree_within_bucket_range(self, degree, base, growth):
+        i = bucket_of_degree(degree, base, growth)
+        assert degree < bucket_upper_bound(i, base, growth)
+        if i > 0:
+            assert degree >= bucket_upper_bound(i - 1, base, growth)
+
+    def test_upper_bounds_grow_geometrically(self):
+        base, growth = 3.1, 1.1
+        uppers = [bucket_upper_bound(i, base, growth) for i in range(10)]
+        for a, b in zip(uppers, uppers[1:]):
+            assert b == pytest.approx(a * growth)
+
+    def test_default_round_cap_grows_with_n(self):
+        assert default_round_cap(1, 3, 0.5) == 1
+        small = default_round_cap(100, 3, 0.5)
+        large = default_round_cap(10 ** 6, 3, 0.5)
+        assert large > small
+
+    def test_default_round_cap_shrinks_with_delta(self):
+        loose = default_round_cap(1000, 3, 1.0)
+        tight = default_round_cap(1000, 3, 0.1)
+        assert tight > loose
+
+
+class TestQueueBasics:
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            GeometricBucketQueue([1], 3, 0.0)
+        with pytest.raises(ParameterError):
+            GeometricBucketQueue([1], 0, 0.5)
+        with pytest.raises(ParameterError):
+            GeometricBucketQueue([1], 3, 0.5, round_cap=0)
+        with pytest.raises(DataStructureError):
+            GeometricBucketQueue([-1], 3, 0.5)
+
+    def test_round_peels_current_bucket(self):
+        q = GeometricBucketQueue([1, 2, 100], s_choose_r=3, delta=0.5)
+        upper, ids = q.next_round()
+        assert sorted(ids) == [0, 1]  # both in bucket 0
+        assert upper == q._base * q._growth  # bucket 0 upper bound
+
+    def test_estimate_upper_bound_is_bucket_boundary(self):
+        q = GeometricBucketQueue([50], s_choose_r=3, delta=0.5)
+        upper, ids = q.next_round()
+        assert upper > 50  # the bucket's upper boundary exceeds the degree
+        assert ids == [0]
+
+    def test_empty_extraction_raises(self):
+        q = GeometricBucketQueue([], 3, 0.5)
+        with pytest.raises(DataStructureError):
+            q.next_round()
+
+    def test_decrement_dead_rejected(self):
+        q = GeometricBucketQueue([1], 3, 0.5)
+        q.next_round()
+        with pytest.raises(DataStructureError):
+            q.decrement(0)
+
+
+class TestAggregationRule:
+    def test_degree_falling_below_range_joins_current_bucket(self):
+        # id 1 starts high; after decrement its geometric bucket would be
+        # below the current one -- it must be peeled with the current
+        # bucket, not a lower one.
+        q = GeometricBucketQueue([1, 40], s_choose_r=3, delta=0.5)
+        q.next_round()  # peels id 0 from bucket 0
+        # advance into id 1's bucket by decrementing below bucket 0's range
+        q.decrement(1, 39)  # degree 1 -> would be bucket 0, now aggregated
+        upper, ids = q.next_round()
+        assert ids == [1]
+        assert q.current_bucket >= 0
+
+    def test_round_cap_promotes_survivors(self):
+        # cap of 1 round per bucket: feeding the current bucket repeatedly
+        # forces promotions.
+        q = GeometricBucketQueue([1, 1, 50, 50], s_choose_r=3, delta=0.5,
+                                 round_cap=1)
+        upper0, ids0 = q.next_round()
+        assert sorted(ids0) == [0, 1]
+        # drop both high ids into bucket 0's range; only one round is
+        # allowed there, so after peeling them... they arrive together.
+        q.decrement(2, 49)
+        q.decrement(3, 49)
+        upper1, ids1 = q.next_round()
+        assert sorted(ids1) == [2, 3]
+
+    def test_promotion_counted(self):
+        q = GeometricBucketQueue([1, 1], 3, 0.5, round_cap=1)
+        # Peel id 0's bucket; then make id 1 re-enter bucket 0 via a stale
+        # path: simplest is two ids in the same bucket with cap 1 --
+        # both are peeled in one round, so force a second round by
+        # decrementing after the first round is exhausted.
+        q.next_round()
+        assert q.empty
+        # Direct scenario: three ids, cap 1, all in bucket 0.
+        q2 = GeometricBucketQueue([0, 1, 2], 3, 0.5, round_cap=1)
+        upper, ids = q2.next_round()
+        assert len(ids) == 3  # single round suffices; no promotion
+        assert q2.bucket_promotions == 0
+
+
+@given(st.lists(st.integers(0, 60), min_size=1, max_size=40),
+       st.floats(0.1, 1.5), st.integers(1, 6))
+def test_every_id_peeled_exactly_once(degrees, delta, c):
+    q = GeometricBucketQueue(degrees, s_choose_r=c, delta=delta)
+    seen = []
+    while not q.empty:
+        upper, ids = q.next_round()
+        # every peeled id's current degree is below the bucket's upper bound
+        for i in ids:
+            assert q.degree(i) < upper or q.degree(i) == pytest.approx(upper)
+        seen.extend(ids)
+    assert sorted(seen) == list(range(len(degrees)))
+
+
+@given(st.lists(st.integers(0, 60), min_size=1, max_size=40))
+def test_upper_bounds_nondecreasing_across_rounds(degrees):
+    q = GeometricBucketQueue(degrees, s_choose_r=3, delta=0.5)
+    uppers = []
+    while not q.empty:
+        uppers.append(q.next_round()[0])
+    assert uppers == sorted(uppers)

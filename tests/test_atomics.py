@@ -1,0 +1,105 @@
+"""Unit tests for the CAS model (repro.parallel.atomics)."""
+
+import itertools
+
+from repro.parallel.atomics import (AtomicCell, AtomicStats, FlakyAtomicCell,
+                                    fetch_and_add, write_min)
+
+
+class TestAtomicCell:
+    def test_load_store(self):
+        c = AtomicCell(5)
+        assert c.load() == 5
+        c.store(9)
+        assert c.load() == 9
+
+    def test_cas_success_and_failure(self):
+        c = AtomicCell(1)
+        assert c.compare_and_swap(1, 2)
+        assert c.load() == 2
+        assert not c.compare_and_swap(1, 3)
+        assert c.load() == 2
+
+    def test_stats_recorded(self):
+        stats = AtomicStats()
+        c = AtomicCell(0, stats)
+        c.load()
+        c.store(1)
+        c.compare_and_swap(1, 2)
+        c.compare_and_swap(99, 3)
+        assert stats.loads == 1
+        assert stats.stores == 1
+        assert stats.cas_attempts == 2
+        assert stats.cas_failures == 1
+
+    def test_stats_reset(self):
+        stats = AtomicStats()
+        c = AtomicCell(0, stats)
+        c.load()
+        stats.reset()
+        assert stats.loads == 0
+
+
+class TestFlakyAtomicCell:
+    def test_scheduled_failures(self):
+        c = FlakyAtomicCell(0, iter([True, False]))
+        assert not c.compare_and_swap(0, 1)  # forced failure
+        assert c.load() == 0
+        assert c.compare_and_swap(0, 1)  # now succeeds
+        assert c.load() == 1
+
+    def test_interference_mutates_before_failure(self):
+        c = FlakyAtomicCell(0, iter([True]),
+                            interference=lambda cell: cell.store(42))
+        assert not c.compare_and_swap(0, 1)
+        assert c.load() == 42
+        # Retry with fresh expectation now works (the CAS-loop pattern).
+        assert c.compare_and_swap(42, 1)
+
+    def test_exhausted_schedule_behaves_normally(self):
+        c = FlakyAtomicCell(0, iter([]))
+        assert c.compare_and_swap(0, 7)
+
+    def test_failure_counted_in_stats(self):
+        stats = AtomicStats()
+        c = FlakyAtomicCell(0, iter([True]), stats=stats)
+        c.compare_and_swap(0, 1)
+        assert stats.cas_failures == 1
+
+
+class TestDerivedPrimitives:
+    def test_write_min_lowers(self):
+        c = AtomicCell(10)
+        assert write_min(c, 3)
+        assert c.load() == 3
+
+    def test_write_min_ignores_higher(self):
+        c = AtomicCell(3)
+        assert not write_min(c, 10)
+        assert c.load() == 3
+
+    def test_write_min_retries_through_contention(self):
+        # First CAS fails with interference lowering the value to 5; the
+        # retry then lowers 5 -> 2.
+        c = FlakyAtomicCell(10, iter([True]),
+                            interference=lambda cell: cell.store(5))
+        assert write_min(c, 2)
+        assert c.load() == 2
+
+    def test_write_min_contention_beats_us(self):
+        # Interference lowers below our candidate; we must NOT overwrite.
+        c = FlakyAtomicCell(10, iter([True]),
+                            interference=lambda cell: cell.store(1))
+        assert not write_min(c, 2)
+        assert c.load() == 1
+
+    def test_fetch_and_add(self):
+        c = AtomicCell(10)
+        assert fetch_and_add(c, 5) == 10
+        assert c.load() == 15
+
+    def test_fetch_and_add_under_contention(self):
+        c = FlakyAtomicCell(0, iter([True]),
+                            interference=lambda cell: cell.store(100))
+        assert fetch_and_add(c, 1) == 100
+        assert c.load() == 101

@@ -1,0 +1,140 @@
+"""Unit + property tests for the baseline implementations (NH, PHCD, oracles)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import oracle_chain
+from repro.baselines.kcore import (core_numbers, degeneracy, k_core_subgraph)
+from repro.baselines.ktruss import max_truss, truss_core_numbers
+from repro.baselines.naive_hierarchy import (coreness_histogram,
+                                             level_graph_components,
+                                             naive_hierarchy,
+                                             nuclei_without_hierarchy)
+from repro.baselines.nh import nh
+from repro.baselines.phcd import kcore_peel, phcd
+from repro.core.nucleus import peel_exact, prepare
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph
+
+
+class TestKCoreOracle:
+    def test_complete_graph(self):
+        assert core_numbers(Graph.complete(5)) == [4] * 5
+
+    def test_path(self):
+        assert core_numbers(Graph(3, [(0, 1), (1, 2)])) == [1, 1, 1]
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        g = erdos_renyi(80, 0.1, seed=12)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(range(g.n))
+        expected = nx.core_number(nxg)
+        got = core_numbers(g)
+        assert all(got[v] == expected[v] for v in range(g.n))
+
+    def test_degeneracy_and_subgraph(self):
+        g = planted_nuclei([5, 3], bridge=True)
+        assert degeneracy(g) == 4
+        assert k_core_subgraph(g, 4) == [0, 1, 2, 3, 4]
+        assert k_core_subgraph(g, 5) == []
+
+
+class TestKTrussOracle:
+    def test_complete_graph(self):
+        cores = truss_core_numbers(Graph.complete(5))
+        assert set(cores.values()) == {3}
+        assert max_truss(Graph.complete(5)) == 3
+
+    def test_triangle_free(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert set(truss_core_numbers(g).values()) == {0}
+
+    def test_two_triangles_sharing_edge(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+        cores = truss_core_numbers(g)
+        # peeling: all edges support >= 1; the shared edge ends at 1 too
+        assert cores[(0, 1)] == 1
+        assert cores[(2, 3)] if (2, 3) in cores else True
+
+
+class TestNaiveOracleInternals:
+    def test_level_components_definition(self, two_triangles_bridge):
+        prep = prepare(two_triangles_bridge, 2, 3)
+        res = peel_exact(prep.incidence)
+        comps = level_graph_components(prep.incidence, res.core, 1)
+        assert sorted(len(c) for c in comps) == [3, 3]
+
+    def test_nuclei_without_hierarchy_matches_cut(self, social_graph):
+        prep = prepare(social_graph, 2, 3)
+        res = peel_exact(prep.incidence)
+        tree = naive_hierarchy(prep.incidence, res.core)
+        for c in tree.distinct_levels():
+            direct = sorted(map(tuple, nuclei_without_hierarchy(
+                prep.incidence, res.core, c)))
+            from_tree = sorted(map(tuple, tree.nuclei_at(c)))
+            assert direct == from_tree
+
+    def test_coreness_histogram(self):
+        assert coreness_histogram([1.0, 1.0, 0.0]) == {1.0: 2, 0.0: 1}
+
+
+class TestNH:
+    def test_matches_oracle_on_fixture_graphs(self, paper_like_graph):
+        for r, s in [(1, 2), (2, 3), (3, 4)]:
+            prep, res, oracle = oracle_chain(paper_like_graph, r, s)
+            out = nh(paper_like_graph, r, s, prepared=prep)
+            assert out.coreness.core == res.core
+            assert out.tree.partition_chain() == oracle
+
+    @settings(deadline=None, max_examples=12)
+    @given(pairs=st.sets(st.tuples(st.integers(0, 11), st.integers(0, 11)),
+                         max_size=40),
+           rs=st.sampled_from([(1, 2), (2, 3), (2, 4), (3, 4)]))
+    def test_matches_oracle_on_random_graphs(self, pairs, rs):
+        r, s = rs
+        g = Graph(12, [(u, v) for u, v in pairs if u != v])
+        prep, res, oracle = oracle_chain(g, r, s)
+        if prep.n_r == 0:
+            return
+        out = nh(g, r, s, prepared=prep)
+        assert out.coreness.core == res.core
+        assert out.tree.partition_chain() == oracle
+
+    def test_pair_list_memory_footprint(self, social_graph):
+        """NH's defining overhead: the stored cross-core pair list."""
+        out = nh(social_graph, 2, 3)
+        assert out.stats["cross_pairs_stored"] > 0
+        assert out.stats["memory_units"] > out.coreness.n_r
+
+    def test_generalizes_beyond_paper_rs(self, social_graph):
+        prep, res, oracle = oracle_chain(social_graph, 1, 3)
+        out = nh(social_graph, 1, 3, prepared=prep)
+        assert out.tree.partition_chain() == oracle
+
+
+class TestPHCD:
+    def test_kcore_peel_matches_classic(self):
+        g = erdos_renyi(60, 0.12, seed=6)
+        res = kcore_peel(g)
+        assert [int(c) for c in res.core] == core_numbers(g)
+
+    def test_tree_matches_oracle(self, paper_like_graph):
+        prep, res, oracle = oracle_chain(paper_like_graph, 1, 2)
+        out = phcd(paper_like_graph)
+        assert out.coreness.core == res.core
+        assert out.tree.partition_chain() == oracle
+
+    @settings(deadline=None, max_examples=12)
+    @given(pairs=st.sets(st.tuples(st.integers(0, 14), st.integers(0, 14)),
+                         max_size=50))
+    def test_matches_oracle_on_random_graphs(self, pairs):
+        g = Graph(15, [(u, v) for u, v in pairs if u != v])
+        prep, res, oracle = oracle_chain(g, 1, 2)
+        out = phcd(g)
+        assert out.coreness.core == res.core
+        assert out.tree.partition_chain() == oracle
+
+    def test_no_clique_machinery_in_stats(self, social_graph):
+        out = phcd(social_graph)
+        assert out.stats["memory_units"] == 2 * social_graph.n

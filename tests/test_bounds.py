@@ -1,0 +1,151 @@
+"""Empirical verification of the paper's complexity bounds.
+
+The instrumented runtime meters exactly the quantities Theorems 5.1 and
+6.3 bound, so the bounds themselves are testable: on every instance the
+measured work/span must lie below the theoretical expression times a
+fixed constant (generous, but *fixed across all instances and sizes* --
+a real asymptotic violation shows up as growth, not as a constant).
+
+Notation: the work bound O(m * alpha^(s-2)) is, for the materialized
+engine, proportional to the total s-clique incidence size
+``n_s * comb(s, r)`` plus the r-clique and graph sizes; the span bounds
+are ``O(rho log n)`` (exact peeling), ``O(k log n + rho log n + log^2 n)``
+(Algorithm 1), and ``O(log^3 n)``-style polylog round counts
+(Algorithm 2).
+"""
+
+from math import comb, log2
+
+import pytest
+
+from repro.core.approx import peel_approx
+from repro.core.hierarchy_te import hierarchy_te_theoretical
+from repro.core.nucleus import peel_exact, prepare
+from repro.ds.approx_bucketing import bucket_of_degree, default_round_cap
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import erdos_renyi, powerlaw_cluster
+from repro.parallel.counters import WorkSpanCounter
+
+INSTANCES = [
+    ("er-small", lambda: erdos_renyi(40, 0.2, seed=1)),
+    ("er-large", lambda: erdos_renyi(120, 0.08, seed=2)),
+    ("plc-small", lambda: powerlaw_cluster(120, 3, 0.7, seed=3)),
+    ("plc-large", lambda: powerlaw_cluster(400, 3, 0.7, seed=4)),
+    ("dblp-mini", lambda: load_dataset("dblp", scale=0.25)),
+]
+
+RS = [(1, 2), (2, 3), (2, 4), (3, 4)]
+
+#: Fixed constants for all instances; a genuine asymptotic violation
+#: would exceed them on the larger instances.
+WORK_CONSTANT = 40
+SPAN_CONSTANT = 30
+
+
+def log_n(prep) -> float:
+    return max(1.0, log2(max(prep.n_r, 2)))
+
+
+@pytest.mark.parametrize("name,build", INSTANCES)
+@pytest.mark.parametrize("rs", RS)
+class TestPeelingBounds:
+    def test_work_linear_in_incidence_size(self, name, build, rs):
+        r, s = rs
+        graph = build()
+        prep = prepare(graph, r, s)
+        if prep.n_r == 0:
+            return
+        counter = WorkSpanCounter()
+        peel_exact(prep.incidence, counter=counter)
+        budget = (prep.n_s * comb(s, r) ** 2 + prep.n_r + graph.m + 10)
+        assert counter.work <= WORK_CONSTANT * budget, (name, rs)
+
+    def test_span_linear_in_rho_log_n(self, name, build, rs):
+        r, s = rs
+        graph = build()
+        prep = prepare(graph, r, s)
+        if prep.n_r == 0:
+            return
+        counter = WorkSpanCounter()
+        result = peel_exact(prep.incidence, counter=counter)
+        budget = result.rho * log_n(prep) + log_n(prep) ** 2 + 10
+        assert counter.span <= SPAN_CONSTANT * budget, (name, rs)
+
+
+@pytest.mark.parametrize("name,build", INSTANCES)
+class TestHierarchyBounds:
+    def test_algorithm1_work_and_span(self, name, build):
+        graph = build()
+        for r, s in [(2, 3), (1, 3)]:
+            prep = prepare(graph, r, s)
+            if prep.n_r == 0:
+                continue
+            counter = WorkSpanCounter()
+            out = hierarchy_te_theoretical(graph, r, s, prepared=prep,
+                                           counter=counter)
+            k = out.coreness.k_max
+            rho = out.coreness.rho
+            work_budget = (prep.n_s * comb(s, r) ** 2 + prep.n_r
+                           + graph.m + 10)
+            span_budget = ((k + rho) * log_n(prep) + log_n(prep) ** 2 + 10)
+            assert counter.work <= WORK_CONSTANT * work_budget, (name, r, s)
+            assert counter.span <= SPAN_CONSTANT * span_budget, (name, r, s)
+
+
+@pytest.mark.parametrize("name,build", INSTANCES)
+class TestApproxBounds:
+    def test_round_count_polylogarithmic(self, name, build):
+        """Algorithm 2's rounds <= round_cap * number of buckets."""
+        graph = build()
+        for r, s in [(2, 3), (1, 2)]:
+            prep = prepare(graph, r, s)
+            if prep.n_r == 0:
+                continue
+            for delta in (0.25, 1.0):
+                result = peel_approx(prep.incidence, delta)
+                cap = default_round_cap(prep.n_r, comb(s, r), delta)
+                max_degree = max(prep.incidence.initial_degrees(),
+                                 default=0)
+                n_buckets = 2 + bucket_of_degree(
+                    max(max_degree, 1), comb(s, r) + delta, 1 + delta)
+                assert result.rho <= cap * n_buckets, (name, r, s, delta)
+
+    def test_approx_work_no_worse_than_exact_order(self, name, build):
+        """Theorem 6.3: the approximation does not change the work bound."""
+        graph = build()
+        prep = prepare(graph, 2, 3)
+        if prep.n_r == 0:
+            return
+        exact_counter, approx_counter = WorkSpanCounter(), WorkSpanCounter()
+        peel_exact(prep.incidence, counter=exact_counter)
+        peel_approx(prep.incidence, 0.5, counter=approx_counter)
+        assert approx_counter.work <= 4 * exact_counter.work + 100
+
+
+class TestScaling:
+    def test_peeling_work_scales_with_incidence_not_worse(self):
+        """Doubling the graph scales work roughly with the s-clique count.
+
+        Checks the *growth rate*: work per unit of incidence stays flat
+        as the instance grows (a super-linear implementation would show
+        an increasing ratio).
+        """
+        ratios = []
+        for scale in (0.25, 0.5, 1.0):
+            graph = load_dataset("dblp", scale=scale)
+            prep = prepare(graph, 2, 3)
+            counter = WorkSpanCounter()
+            peel_exact(prep.incidence, counter=counter)
+            denom = prep.n_s * 3 + prep.n_r + 1
+            ratios.append(counter.work / denom)
+        assert max(ratios) <= 3 * min(ratios)
+
+    def test_span_tracks_rho_not_n(self):
+        """Span grows with rho * log n, far below n on large graphs."""
+        graph = load_dataset("dblp", scale=1.0)
+        prep = prepare(graph, 2, 3)
+        counter = WorkSpanCounter()
+        result = peel_exact(prep.incidence, counter=counter)
+        assert counter.span < prep.n_r  # genuinely sublinear
+        assert counter.span <= SPAN_CONSTANT * (
+            result.rho * log2(prep.n_r) + 10)

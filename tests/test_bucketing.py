@@ -1,0 +1,126 @@
+"""Unit + property tests for the exact bucketing structure (Julienne-style)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.bucketing import BucketQueue
+from repro.errors import DataStructureError
+
+
+class TestBasics:
+    def test_extracts_minimum_bucket(self):
+        q = BucketQueue([3, 1, 2, 1])
+        value, ids = q.next_bucket()
+        assert value == 1
+        assert sorted(ids) == [1, 3]
+
+    def test_extraction_marks_dead(self):
+        q = BucketQueue([1, 2])
+        q.next_bucket()
+        assert not q.alive(0)
+        assert q.alive(1)
+
+    def test_len_and_empty(self):
+        q = BucketQueue([5, 5])
+        assert len(q) == 2 and not q.empty
+        q.next_bucket()
+        assert len(q) == 0 and q.empty
+
+    def test_empty_extraction_raises(self):
+        q = BucketQueue([])
+        with pytest.raises(DataStructureError):
+            q.next_bucket()
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(DataStructureError):
+            BucketQueue([1, -1])
+
+
+class TestUpdates:
+    def test_decrement_rebuckets(self):
+        q = BucketQueue([5, 3])
+        q.decrement(0, 4)  # 0 now has value 1 < 3
+        value, ids = q.next_bucket()
+        assert (value, ids) == (1, [0])
+
+    def test_update_below_cursor_is_seen(self):
+        q = BucketQueue([0, 5])
+        q.next_bucket()  # extracts id 0, cursor at 0
+        q.update(1, 0)   # drops below nothing, but to the cursor's level
+        value, ids = q.next_bucket()
+        assert (value, ids) == (0, [1])
+
+    def test_increase_rejected(self):
+        q = BucketQueue([1, 2])
+        with pytest.raises(DataStructureError):
+            q.update(0, 5)
+
+    def test_update_dead_rejected(self):
+        q = BucketQueue([1, 2])
+        q.next_bucket()
+        with pytest.raises(DataStructureError):
+            q.update(0, 0)
+
+    def test_decrement_clamps_at_zero(self):
+        q = BucketQueue([1, 5])
+        q.decrement(0, 10)
+        assert q.value(0) == 0
+
+    def test_stale_entries_skipped(self):
+        q = BucketQueue([4, 4])
+        q.update(0, 2)
+        q.update(0, 1)  # two stale entries for id 0 now exist
+        value, ids = q.next_bucket()
+        assert (value, ids) == (1, [0])
+        value, ids = q.next_bucket()
+        assert (value, ids) == (4, [1])
+
+    def test_updates_counted(self):
+        q = BucketQueue([4])
+        q.update(0, 2)
+        q.update(0, 2)  # no-op does not count
+        assert q.updates == 1
+
+
+class TestRounds:
+    def test_rounds_counts_extractions(self):
+        q = BucketQueue([1, 1, 2, 3])
+        list(q.drain())
+        assert q.rounds == 3  # buckets 1, 2, 3
+
+    def test_drain_yields_everything_once(self):
+        q = BucketQueue([2, 0, 2, 5])
+        seen = [i for _, ids in q.drain() for i in ids]
+        assert sorted(seen) == [0, 1, 2, 3]
+
+
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=50))
+def test_static_drain_is_sorted_grouping(values):
+    """With no updates, drain yields ids grouped by value, ascending."""
+    q = BucketQueue(values)
+    out = list(q.drain())
+    yielded_values = [v for v, _ in out]
+    assert yielded_values == sorted(set(values))
+    for v, ids in out:
+        assert sorted(ids) == [i for i, x in enumerate(values) if x == v]
+
+
+@given(st.lists(st.integers(0, 15), min_size=2, max_size=30),
+       st.lists(st.tuples(st.integers(0, 29), st.integers(1, 5)), max_size=30))
+def test_peeling_discipline_invariants(values, decrements):
+    """Interleave extraction and decrements like the peeling loop does."""
+    q = BucketQueue(values)
+    extracted = []
+    decrements = list(decrements)
+    while not q.empty:
+        value, ids = q.next_bucket()
+        assert value == min(q.value(i) for i in ids)
+        extracted.extend(ids)
+        # apply some decrements to still-live ids
+        while decrements:
+            ident, amount = decrements.pop()
+            ident %= len(values)
+            if q.alive(ident):
+                q.decrement(ident, amount)
+                break
+    assert sorted(extracted) == list(range(len(values)))

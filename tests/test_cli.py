@@ -1,0 +1,129 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.export import SCHEMA_VERSION
+from repro.graphs.generators import planted_nuclei
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(planted_nuclei([6, 5, 4], bridge=True), str(path))
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestDecompose:
+    def test_from_file(self, graph_file):
+        code, text = run(["decompose", graph_file, "--r", "2", "--s", "3"])
+        assert code == 0
+        assert "max core 4" in text
+        assert "hierarchy" in text
+
+    def test_from_dataset(self):
+        code, text = run(["decompose", "--dataset", "dblp",
+                          "--scale", "0.08", "--r", "1", "--s", "2"])
+        assert code == 0
+        assert "(1,2) nucleus decomposition" in text
+
+    def test_approx_flag(self, graph_file):
+        code, text = run(["decompose", graph_file, "--approx",
+                          "--delta", "0.5"])
+        assert code == 0
+        assert "approximate" in text
+
+    def test_method_selection(self, graph_file):
+        code, text = run(["decompose", graph_file, "--method", "anh-te"])
+        assert code == 0
+        assert "anh-te" in text
+
+    def test_requires_exactly_one_input(self, graph_file):
+        code, _ = run(["decompose"])
+        assert code == 2
+        code, _ = run(["decompose", graph_file, "--dataset", "dblp"])
+        assert code == 2
+
+    def test_missing_file(self):
+        code, _ = run(["decompose", "/nonexistent/graph.txt"])
+        assert code == 2
+
+
+class TestNuclei:
+    def test_cut_at_level(self, graph_file):
+        code, text = run(["nuclei", graph_file, "--level", "4"])
+        assert code == 0
+        assert "nuclei at level 4" in text
+        assert "[6 vertices]" in text  # the K6
+
+    def test_densest_listing(self, graph_file):
+        code, text = run(["nuclei", graph_file, "--top", "2"])
+        assert code == 0
+        assert "densest nuclei" in text
+        assert "1.000" in text  # planted cliques have density 1
+
+
+class TestExport:
+    def test_json_to_stdout(self, graph_file):
+        code, text = run(["export", graph_file, "--format", "json"])
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["schema_version"] == SCHEMA_VERSION
+
+    def test_dot_to_file(self, graph_file, tmp_path):
+        out_path = tmp_path / "tree.dot"
+        code, text = run(["export", graph_file, "--format", "dot",
+                          "-o", str(out_path)])
+        assert code == 0
+        assert "wrote dot" in text
+        assert out_path.read_text().startswith("digraph")
+
+
+class TestVerify:
+    def test_verify_passes(self, graph_file):
+        code, text = run(["verify", graph_file, "--r", "2", "--s", "3"])
+        assert code == 0
+        assert "PASSED" in text
+
+    def test_verify_approx(self, graph_file):
+        code, text = run(["verify", graph_file, "--approx", "--delta", "1"])
+        assert code == 0
+        assert "bound" in text
+
+
+class TestDatasets:
+    def test_listing(self):
+        code, text = run(["datasets", "--scale", "0.05"])
+        assert code == 0
+        for name in ("amazon", "friendster"):
+            assert name in text
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_entry_point(self, graph_file):
+        import subprocess
+        import sys
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "decompose", graph_file],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0
+        assert "nucleus decomposition" in proc.stdout

@@ -1,0 +1,109 @@
+"""Unit tests for hierarchy comparison (analysis.compare)."""
+
+import pytest
+
+from repro import nucleus_decomposition
+from repro.analysis.compare import (confusion_summary, hierarchy_similarity,
+                                    partition_agreement, rand_index)
+from repro.core.tree import tree_from_partition_chain
+from repro.errors import ParameterError
+from repro.graphs.generators import planted_nuclei, powerlaw_cluster
+
+
+class TestRandIndex:
+    def test_identical_partitions(self):
+        p = [[0, 1], [2, 3]]
+        assert rand_index(p, p, 4) == 1.0
+
+    def test_completely_different(self):
+        a = [[0, 1, 2, 3]]
+        b = [[0], [1], [2], [3]]
+        assert rand_index(a, b, 4) == 0.0
+
+    def test_partial_overlap(self):
+        a = [[0, 1], [2, 3]]
+        b = [[0, 1, 2, 3]]
+        # pairs: (0,1),(2,3) agree-same in both? in b all same: agreements
+        # = pairs same in both (2) + pairs split in both (0) = 2 of 6
+        assert rand_index(a, b, 4) == pytest.approx(2 / 6)
+
+    def test_missing_elements_are_singletons(self):
+        a = [[0, 1]]
+        b = [[0, 1]]
+        assert rand_index(a, b, 5) == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            rand_index([[9]], [[9]], 3)
+
+    def test_empty_universe(self):
+        assert rand_index([], [], 0) == 1.0
+
+
+class TestPartitionAgreement:
+    def test_verbatim_fraction(self):
+        a = [[0, 1], [2]]
+        b = [[0, 1], [2, 3]]
+        assert partition_agreement(a, b) == 0.5
+
+    def test_empty(self):
+        assert partition_agreement([], [[0]]) == 1.0
+
+
+class TestHierarchySimilarity:
+    def test_identical_trees(self):
+        core = [3, 3, 2, 2]
+        chain = {3: [[0, 1]], 2: [[0, 1, 2, 3]]}
+        a = tree_from_partition_chain(core, chain)
+        b = tree_from_partition_chain(core, chain)
+        sims = hierarchy_similarity(a, b)
+        assert all(s.rand == 1.0 for s in sims)
+        summary = confusion_summary(sims)
+        assert summary["preserved"] == 1.0
+        assert summary["split"] == 0.0
+
+    def test_merged_nuclei_detected(self):
+        core = [2, 2, 2, 2]
+        fine = tree_from_partition_chain(core, {2: [[0, 1], [2, 3]]})
+        coarse = tree_from_partition_chain(core, {2: [[0, 1, 2, 3]]})
+        sims = hierarchy_similarity(fine, coarse)
+        assert sims[0].merged == 2
+        assert sims[0].preserved == 0
+
+    def test_split_nuclei_detected(self):
+        core = [2, 2, 2, 2]
+        coarse = tree_from_partition_chain(core, {2: [[0, 1, 2, 3]]})
+        fine = tree_from_partition_chain(core, {2: [[0, 1], [2, 3]]})
+        sims = hierarchy_similarity(coarse, fine)
+        assert sims[0].split == 1
+
+    def test_leaf_count_mismatch_rejected(self):
+        a = tree_from_partition_chain([1, 1], {1: [[0, 1]]})
+        b = tree_from_partition_chain([1, 1, 1], {1: [[0, 1, 2]]})
+        with pytest.raises(ParameterError):
+            hierarchy_similarity(a, b)
+
+    def test_empty_summary(self):
+        assert confusion_summary([])["mean_rand"] == 1.0
+
+
+class TestApproxVsExactTrees:
+    def test_approx_tree_never_splits_exact_nuclei(self):
+        """Estimates only grow, so approx nuclei can merge but not split
+        exact ones -- measured structurally."""
+        g = powerlaw_cluster(150, 4, 0.7, seed=11)
+        exact = nucleus_decomposition(g, 2, 3)
+        approx = nucleus_decomposition(g, 2, 3, approx=True, delta=0.5)
+        sims = hierarchy_similarity(exact.tree, approx.tree)
+        summary = confusion_summary(sims)
+        assert summary["split"] == 0.0
+        assert summary["preserved"] + summary["merged"] == pytest.approx(1.0)
+
+    def test_planted_blocks_fully_preserved(self):
+        g = planted_nuclei([6, 5, 4], bridge=True)
+        exact = nucleus_decomposition(g, 2, 3)
+        approx = nucleus_decomposition(g, 2, 3, approx=True, delta=0.1)
+        sims = hierarchy_similarity(exact.tree, approx.tree)
+        # the planted blocks are isolated nuclei: the approximation keeps
+        # them intact at every exact level
+        assert confusion_summary(sims)["split"] == 0.0

@@ -1,0 +1,85 @@
+"""Unit + property tests for hook-and-contract connectivity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graphs.connectivity import (bfs_components, components_as_dict,
+                                       connected_components,
+                                       connected_components_edges,
+                                       n_components, same_partition)
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph
+from repro.parallel.counters import WorkSpanCounter
+
+
+class TestBasics:
+    def test_empty(self):
+        assert connected_components(Graph.empty(0)) == []
+        assert connected_components(Graph.empty(3)) == [0, 1, 2]
+
+    def test_single_component(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert connected_components(g) == [0, 0, 0, 0]
+
+    def test_two_components_min_label(self):
+        g = Graph(5, [(1, 3), (2, 4)])
+        labels = connected_components(g)
+        assert labels == [0, 1, 2, 1, 2]
+
+    def test_labels_are_minimum_member(self):
+        g = planted_nuclei([4, 3], bridge=False)
+        labels = connected_components(g)
+        comps = components_as_dict(labels)
+        for label, members in comps.items():
+            assert label == min(members)
+
+    def test_self_loop_edges_ignored(self):
+        labels = connected_components_edges(3, [(0, 0), (1, 2)])
+        assert labels == [0, 1, 1]
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphFormatError):
+            connected_components_edges(2, [(0, 5)])
+
+    def test_counter_receives_rounds(self):
+        c = WorkSpanCounter()
+        connected_components(erdos_renyi(100, 0.05, seed=1), c)
+        assert c.work > 0
+        assert 0 < c.span < 200  # low-span, not O(n)
+
+    def test_n_components(self):
+        assert n_components([0, 0, 2, 2, 4]) == 3
+
+
+class TestHelpers:
+    def test_components_as_dict(self):
+        assert components_as_dict([0, 0, 2]) == {0: [0, 1], 2: [2]}
+
+    def test_same_partition_invariance(self):
+        assert same_partition([0, 0, 1], [5, 5, 9])
+        assert not same_partition([0, 0, 1], [0, 1, 1])
+        assert not same_partition([0], [0, 1])
+
+    def test_same_partition_requires_bijection(self):
+        # a refines b but is not equal
+        assert not same_partition([0, 1, 1], [0, 0, 0])
+        assert not same_partition([0, 0, 0], [0, 1, 1])
+
+
+@given(st.integers(0, 25),
+       st.sets(st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=60))
+def test_matches_bfs_reference(n, pairs):
+    edges = [(u, v) for u, v in pairs if u != v and u < n and v < n]
+    g = Graph(n, edges)
+    assert same_partition(connected_components(g), bfs_components(g))
+
+
+def test_large_random_graph_matches_networkx():
+    import networkx as nx
+    g = erdos_renyi(400, 0.004, seed=11)
+    labels = connected_components(g)
+    nxg = nx.Graph(list(g.edges()))
+    nxg.add_nodes_from(range(g.n))
+    expected = len(list(nx.connected_components(nxg)))
+    assert n_components(labels) == expected

@@ -1,0 +1,133 @@
+"""Unit tests for the work-span counters (repro.parallel.counters)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.counters import (NullCounter, WorkSpanCounter,
+                                     WorkSpanSnapshot, geometric_span,
+                                     log2_ceil)
+
+
+class TestLog2Ceil:
+    def test_small_values(self):
+        assert log2_ceil(0) == 0
+        assert log2_ceil(1) == 0
+        assert log2_ceil(2) == 1
+        assert log2_ceil(3) == 2
+        assert log2_ceil(4) == 2
+        assert log2_ceil(5) == 3
+        assert log2_ceil(1024) == 10
+        assert log2_ceil(1025) == 11
+
+    @given(st.integers(min_value=1, max_value=10 ** 9))
+    def test_is_ceiling_of_log2(self, n):
+        k = log2_ceil(n)
+        assert 2 ** k >= n
+        assert k == 0 or 2 ** (k - 1) < n
+
+
+class TestGeometricSpan:
+    def test_trivial(self):
+        assert geometric_span(0) == 0
+        assert geometric_span(1) == 0
+
+    def test_rounds_cover_contraction(self):
+        # base^span >= n for all tested n
+        for n in (2, 3, 10, 1000, 12345):
+            s = geometric_span(n)
+            assert 2.0 ** s >= n
+
+    def test_other_base(self):
+        assert geometric_span(8, base=8) == 1
+
+
+class TestWorkSpanCounter:
+    def test_initial_state(self):
+        c = WorkSpanCounter()
+        assert c.work == 0 and c.span == 0
+
+    def test_serial_adds_to_both(self):
+        c = WorkSpanCounter()
+        c.add_serial(7)
+        assert c.work == 7 and c.span == 7
+
+    def test_parallel_round(self):
+        c = WorkSpanCounter()
+        c.add_parallel(100, 3)
+        assert c.work == 100 and c.span == 3
+
+    def test_parallel_for_span_is_logarithmic(self):
+        c = WorkSpanCounter()
+        c.add_parallel_for(1024, work_per_item=2)
+        assert c.work == 2048
+        assert c.span == 2 + 10
+
+    def test_parallel_for_empty_is_noop(self):
+        c = WorkSpanCounter()
+        c.add_parallel_for(0)
+        assert c.work == 0 and c.span == 0
+
+    def test_merge_sequential_vs_parallel(self):
+        a = WorkSpanCounter()
+        a.add_parallel(10, 5)
+        b = WorkSpanCounter()
+        b.add_parallel(20, 3)
+        seq = WorkSpanCounter()
+        seq.merge(a)
+        seq.merge(b)
+        assert (seq.work, seq.span) == (30, 8)
+        par = WorkSpanCounter()
+        par.merge_parallel(a)
+        par.merge_parallel(b)
+        assert (par.work, par.span) == (30, 5)
+
+    def test_snapshot_subtraction(self):
+        c = WorkSpanCounter()
+        c.add_parallel(10, 2)
+        before = c.snapshot()
+        c.add_parallel(5, 1)
+        delta = c.snapshot() - before
+        assert delta.work == 5 and delta.span == 1
+
+    def test_reset(self):
+        c = WorkSpanCounter()
+        c.add_serial(3)
+        c.reset()
+        assert c.work == 0 and c.span == 0
+
+    def test_parallelism(self):
+        c = WorkSpanCounter()
+        c.add_parallel(100, 4)
+        assert c.parallelism == 25.0
+
+    def test_parallelism_degenerate(self):
+        assert WorkSpanCounter().parallelism == 1.0
+        zero_span = WorkSpanSnapshot(work=10, span=0)
+        assert zero_span.parallelism == 10.0
+
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+                    max_size=30))
+    def test_totals_are_sums(self, rounds):
+        c = WorkSpanCounter()
+        for w, s in rounds:
+            c.add_parallel(w, s)
+        assert c.work == sum(w for w, _ in rounds)
+        assert c.span == sum(s for _, s in rounds)
+
+
+class TestNullCounter:
+    def test_everything_is_a_noop(self):
+        c = NullCounter()
+        c.add_serial(10)
+        c.add_parallel(10, 10)
+        c.add_parallel_for(10)
+        c.add_work(10)
+        c.add_span(10)
+        other = WorkSpanCounter()
+        other.add_serial(5)
+        c.merge(other)
+        c.merge_parallel(other)
+        assert c.work == 0 and c.span == 0
+
+    def test_is_substitutable_for_counter(self):
+        assert isinstance(NullCounter(), WorkSpanCounter)

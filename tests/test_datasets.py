@@ -1,0 +1,67 @@
+"""Unit tests for the SNAP stand-in dataset registry."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.datasets import (DATASET_NAMES, dataset_names, dataset_spec,
+                                   load_dataset, table1_rows)
+
+
+class TestRegistry:
+    def test_table1_order(self):
+        assert dataset_names() == ["amazon", "dblp", "youtube", "skitter",
+                                   "livejournal", "orkut", "friendster"]
+
+    def test_specs_carry_paper_sizes(self):
+        spec = dataset_spec("friendster")
+        assert spec.paper_n == 65_608_366
+        assert spec.paper_m > 10 ** 9
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError):
+            dataset_spec("facebook")
+        with pytest.raises(ParameterError):
+            load_dataset("facebook")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ParameterError):
+            load_dataset("dblp", scale=0)
+
+
+class TestStandIns:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_loadable_and_nonempty(self, name):
+        g = load_dataset(name, scale=0.05)
+        assert g.n > 0 and g.m > 0
+        assert g.name == name
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic(self, name):
+        assert load_dataset(name, scale=0.05) == load_dataset(name, scale=0.05)
+
+    def test_scale_changes_size(self):
+        small = load_dataset("dblp", scale=0.05)
+        large = load_dataset("dblp", scale=0.2)
+        assert large.n > small.n
+
+    def test_relative_sizes_follow_table1(self):
+        # friendster stand-in is the largest by vertices, like the paper.
+        sizes = {name: load_dataset(name, scale=0.25).n
+                 for name in DATASET_NAMES}
+        assert max(sizes, key=sizes.get) == "friendster"
+
+    def test_dblp_is_clique_rich(self):
+        from repro.cliques import triangle_count
+        dblp = load_dataset("dblp", scale=0.2)
+        youtube = load_dataset("youtube", scale=0.2)
+        assert (triangle_count(dblp) / dblp.m
+                > triangle_count(youtube) / youtube.m)
+
+
+class TestTable1Rows:
+    def test_rows_shape(self):
+        rows = table1_rows(scale=0.05)
+        assert len(rows) == 7
+        for name, paper_n, paper_m, n, m in rows:
+            assert paper_n > n  # stand-ins are scaled down
+            assert m > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the NucleusDecomposition result object."""
+
+import pytest
+
+from repro import nucleus_decomposition
+from repro.errors import ParameterError
+from repro.graphs.generators import planted_nuclei
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def decomp():
+    g = planted_nuclei([5, 4], bridge=True)
+    return nucleus_decomposition(g, 2, 3)
+
+
+class TestAccessors:
+    def test_shape(self, decomp):
+        assert decomp.n_r == decomp.graph.m  # r=2: one id per edge
+        assert decomp.max_core == 3  # K5's truss core
+        assert decomp.rho >= 1
+
+    def test_core_of_vertex_tuple(self, decomp):
+        assert decomp.core_of((0, 1)) == 3       # inside K5
+        assert decomp.core_of((5, 6)) == 2       # inside K4
+        assert decomp.core_of((0, 5)) == 0       # the bridge
+
+    def test_core_of_wrong_arity(self, decomp):
+        with pytest.raises(ParameterError):
+            decomp.core_of((0, 1, 2))
+
+    def test_coreness_by_clique_complete(self, decomp):
+        table = decomp.coreness_by_clique()
+        assert len(table) == decomp.n_r
+        assert table[(0, 1)] == 3
+
+
+class TestHierarchyQueries:
+    def test_nuclei_at_as_vertices(self, decomp):
+        deep = decomp.nuclei_at(3)
+        assert deep == [[0, 1, 2, 3, 4]]  # the K5
+        level2 = decomp.nuclei_at(2)
+        assert sorted(map(tuple, level2)) == [(0, 1, 2, 3, 4),
+                                              (5, 6, 7, 8)]
+
+    def test_nuclei_at_as_clique_ids(self, decomp):
+        deep = decomp.nuclei_at(3, as_vertices=False)
+        assert len(deep) == 1 and len(deep[0]) == 10  # K5 has 10 edges
+
+    def test_nucleus_of(self, decomp):
+        assert decomp.nucleus_of((0, 1), 3) == [0, 1, 2, 3, 4]
+        assert decomp.nucleus_of((5, 6), 3) is None
+        assert decomp.nucleus_of((5, 6), 2) == [5, 6, 7, 8]
+
+    def test_hierarchy_levels(self, decomp):
+        assert decomp.hierarchy_levels() == [3, 2]
+
+    def test_density_helpers(self, decomp):
+        best = decomp.densest_nucleus()
+        assert best.density == pytest.approx(1.0)
+        profile = decomp.density_profile()
+        assert len(profile) >= 2
+
+
+class TestSimulatedPerformance:
+    def test_simulated_seconds_decrease_with_threads(self, decomp):
+        t1 = decomp.simulated_seconds(1)
+        t30 = decomp.simulated_seconds(30)
+        assert t1 == pytest.approx(decomp.seconds_total)
+        assert t30 <= t1
+
+    def test_speedup_at_one_thread_is_one(self, decomp):
+        assert decomp.speedup(1) == pytest.approx(1.0)
+
+
+class TestSummary:
+    def test_summary_mentions_key_facts(self, decomp):
+        text = decomp.summary()
+        assert "(2,3)" in text
+        assert "max core 3" in text
+        assert "hierarchy" in text
+
+    def test_repr(self, decomp):
+        assert "NucleusDecomposition" in repr(decomp)
+
+    def test_coreness_only_summary(self):
+        g = Graph.complete(4)
+        out = nucleus_decomposition(g, 2, 3, hierarchy=False)
+        assert "hierarchy" not in out.summary()

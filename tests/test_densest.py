@@ -1,0 +1,102 @@
+"""Unit tests for k-clique densest subgraph peeling (core.densest)."""
+
+from math import comb
+
+import pytest
+
+from repro.core.densest import (DensestResult, exact_density,
+                                k_clique_densest, k_clique_densest_parallel)
+from repro.errors import ParameterError
+from repro.graphs.generators import (barabasi_albert, planted_nuclei,
+                                     random_bipartite_like)
+from repro.graphs.graph import Graph
+from repro.parallel.counters import WorkSpanCounter
+
+
+class TestGreedy:
+    def test_recovers_planted_clique(self):
+        # K8 + K5 + sparse bridge: the K8 is the 3-clique-densest subgraph.
+        g = planted_nuclei([8, 5], bridge=True)
+        result = k_clique_densest(g, k=3)
+        assert result.vertices == list(range(8))
+        assert result.density == pytest.approx(comb(8, 3) / 8)
+
+    def test_reported_density_is_exact(self):
+        g = barabasi_albert(120, 3, seed=9)
+        result = k_clique_densest(g, k=3)
+        assert result.density == pytest.approx(
+            exact_density(g, result.vertices, 3))
+
+    def test_triangle_free_graph(self):
+        g = random_bipartite_like(10, 10, 0.4, seed=1)
+        result = k_clique_densest(g, k=3)
+        assert result.density == 0.0
+
+    def test_k4_density(self):
+        g = planted_nuclei([7, 4], bridge=True)
+        result = k_clique_densest(g, k=4)
+        assert result.vertices == list(range(7))
+        assert result.density == pytest.approx(comb(7, 4) / 7)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            k_clique_densest(Graph.complete(3), k=1)
+
+    def test_approximation_guarantee(self):
+        # The greedy is a 1/k-approximation; on the planted instance the
+        # optimum is known exactly.
+        g = planted_nuclei([8, 5], backbone_p=0.03, seed=2)
+        optimum = comb(8, 3) / 8
+        result = k_clique_densest(g, k=3)
+        assert result.density >= optimum / 3 - 1e-9
+
+
+class TestParallelBatch:
+    def test_logarithmic_rounds(self):
+        g = barabasi_albert(300, 3, seed=7)
+        greedy = k_clique_densest(g, k=3)
+        batch = k_clique_densest_parallel(g, k=3, eps=0.5)
+        assert batch.rounds < greedy.rounds
+        assert batch.rounds <= 60  # O(log n) with a real constant
+
+    def test_density_close_to_greedy(self):
+        g = planted_nuclei([8, 5], backbone_p=0.03, seed=2)
+        greedy = k_clique_densest(g, k=3)
+        batch = k_clique_densest_parallel(g, k=3, eps=0.5)
+        assert batch.density >= greedy.density / (1 + 0.5) - 1e-9
+        assert batch.density == pytest.approx(
+            exact_density(g, batch.vertices, 3))
+
+    def test_recovers_planted_clique_small_eps(self):
+        g = planted_nuclei([8, 5], bridge=True)
+        result = k_clique_densest_parallel(g, k=3, eps=0.1)
+        assert set(range(8)) <= set(result.vertices)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            k_clique_densest_parallel(Graph.complete(3), k=3, eps=0)
+        with pytest.raises(ParameterError):
+            k_clique_densest_parallel(Graph.complete(3), k=0)
+
+    def test_counter_charged(self):
+        c = WorkSpanCounter()
+        k_clique_densest_parallel(barabasi_albert(80, 3, seed=3), 3,
+                                  counter=c)
+        assert c.work > 0 and c.span > 0
+
+
+class TestRelationToNucleus:
+    def test_densest_lives_in_the_deepest_core(self):
+        """The k-clique densest subgraph sits inside a deep (1,k) nucleus
+
+        (its minimum k-clique degree is at least its density), tying the
+        two dense-subgraph notions together as the paper's related-work
+        section describes.
+        """
+        from repro import nucleus_decomposition
+        g = planted_nuclei([8, 5], backbone_p=0.03, seed=2)
+        densest = k_clique_densest(g, k=3)
+        decomposition = nucleus_decomposition(g, 1, 3, hierarchy=False)
+        table = decomposition.coreness_by_clique()
+        min_core = min(table[(v,)] for v in densest.vertices)
+        assert min_core >= densest.density - 1e-9

@@ -1,0 +1,128 @@
+"""Unit + property tests for k-clique enumeration (REC-LIST-CLIQUES)."""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cliques.enumeration import (clique_degeneracy_guard,
+                                       cliques_containing, count_cliques,
+                                       enumerate_cliques, list_cliques,
+                                       triangle_count)
+from repro.errors import ParameterError
+from repro.graphs.generators import erdos_renyi, random_bipartite_like
+from repro.graphs.graph import Graph
+from repro.graphs.orientation import arb_orient
+from repro.parallel.counters import WorkSpanCounter
+
+
+def brute_force_cliques(g, k):
+    from itertools import combinations
+    return sorted(tuple(c) for c in combinations(range(g.n), k)
+                  if g.is_clique(c))
+
+
+class TestCompleteGraphs:
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_counts_are_binomials(self, n):
+        o = arb_orient(Graph.complete(n))
+        for k in range(1, n + 1):
+            assert count_cliques(o, k) == comb(n, k)
+
+    def test_beyond_max_clique_is_zero(self):
+        o = arb_orient(Graph.complete(4))
+        assert count_cliques(o, 5) == 0
+
+
+class TestBasics:
+    def test_one_cliques_are_vertices(self):
+        o = arb_orient(Graph(3, [(0, 1)]))
+        assert list_cliques(o, 1) == [(0,), (1,), (2,)]
+
+    def test_two_cliques_are_edges(self):
+        g = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        o = arb_orient(g)
+        assert list_cliques(o, 2) == sorted(g.edges())
+
+    def test_invalid_k(self):
+        o = arb_orient(Graph.empty(2))
+        with pytest.raises(ParameterError):
+            list(enumerate_cliques(o, 0))
+
+    def test_canonical_sorted_tuples(self):
+        o = arb_orient(Graph.complete(4))
+        for clique in enumerate_cliques(o, 3):
+            assert list(clique) == sorted(clique)
+
+    def test_counter_charged(self):
+        c = WorkSpanCounter()
+        count_cliques(arb_orient(erdos_renyi(30, 0.3, seed=1)), 3, c)
+        assert c.work > 0
+
+    def test_bipartite_has_no_triangles(self):
+        g = random_bipartite_like(10, 10, 0.5, seed=2)
+        assert count_cliques(arb_orient(g), 3) == 0
+        assert triangle_count(g) == 0
+
+
+@settings(deadline=None)
+@given(st.sets(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30),
+       st.integers(2, 5))
+def test_matches_brute_force(pairs, k):
+    g = Graph(10, [(u, v) for u, v in pairs if u != v])
+    o = arb_orient(g)
+    assert list_cliques(o, k) == brute_force_cliques(g, k)
+
+
+def test_matches_networkx_triangles_on_random_graph():
+    import networkx as nx
+    g = erdos_renyi(80, 0.15, seed=6)
+    nxg = nx.Graph(list(g.edges()))
+    expected = sum(nx.triangles(nxg).values()) // 3
+    assert count_cliques(arb_orient(g), 3) == expected
+    assert triangle_count(g) == expected
+
+
+class TestCliquesContaining:
+    def test_extension_of_edge_to_triangles(self):
+        g = Graph.complete(4)
+        out = sorted(cliques_containing(g, (0, 1), 1))
+        assert out == [(0, 1, 2), (0, 1, 3)]
+
+    def test_zero_extension_returns_base(self):
+        g = Graph.complete(3)
+        assert list(cliques_containing(g, (0, 2), 0)) == [(0, 2)]
+
+    def test_no_common_neighbors(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert list(cliques_containing(g, (0, 1), 1)) == []
+
+    def test_invalid_arguments(self):
+        g = Graph.complete(3)
+        with pytest.raises(ParameterError):
+            list(cliques_containing(g, (0,), -1))
+        with pytest.raises(ParameterError):
+            list(cliques_containing(g, (), 1))
+
+    @settings(deadline=None)
+    @given(st.sets(st.tuples(st.integers(0, 8), st.integers(0, 8)),
+                   max_size=25))
+    def test_extension_agrees_with_enumeration(self, pairs):
+        g = Graph(9, [(u, v) for u, v in pairs if u != v])
+        o = arb_orient(g)
+        all_triangles = set(enumerate_cliques(o, 3))
+        for edge in g.edges():
+            got = set(cliques_containing(g, edge, 1))
+            expected = {t for t in all_triangles
+                        if edge[0] in t and edge[1] in t}
+            assert got == expected
+
+
+class TestGuard:
+    def test_guard_allows_small(self):
+        clique_degeneracy_guard(arb_orient(Graph.complete(6)), 4)
+
+    def test_guard_blocks_excessive(self):
+        o = arb_orient(Graph.complete(30))
+        with pytest.raises(ParameterError):
+            clique_degeneracy_guard(o, 15, limit=1000)

@@ -1,0 +1,40 @@
+"""Integration: every example script runs successfully end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py"))
+
+
+def test_examples_directory_is_populated():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3  # the deliverable floor
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script, tmp_path):
+    argv = [sys.executable, os.path.join(EXAMPLES_DIR, script)]
+    env = dict(os.environ)
+    if script == "reproduce_paper.py":
+        # sandbox the full-reproduction driver: tiny scale, scratch output
+        # directory (never the repo's archived results/)
+        argv.append(str(tmp_path))
+        env["REPRO_BENCH_SCALE"] = "0.1"
+    proc = subprocess.run(argv, capture_output=True, text=True,
+                          timeout=300, env=env)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_mentions_key_outputs():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert "nucleus decomposition" in proc.stdout
+    assert "densest nucleus" in proc.stdout
+    assert "speedup" in proc.stdout

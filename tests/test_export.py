@@ -1,0 +1,103 @@
+"""Unit tests for result serialization (repro.export)."""
+
+import io
+import json
+
+import pytest
+
+from repro import nucleus_decomposition
+from repro.errors import ParameterError
+from repro.export import (SCHEMA_VERSION, decomposition_to_dict,
+                          decomposition_to_json, load_coreness,
+                          nuclei_to_rows, tree_to_dot)
+from repro.graphs.generators import planted_nuclei
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def result():
+    return nucleus_decomposition(planted_nuclei([5, 4], bridge=True), 2, 3)
+
+
+class TestJson:
+    def test_document_shape(self, result):
+        doc = decomposition_to_dict(result)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["r"] == 2 and doc["s"] == 3
+        assert len(doc["coreness"]) == result.n_r
+        assert doc["hierarchy"]["n_leaves"] == result.n_r
+        assert doc["max_core"] == result.max_core
+
+    def test_json_is_valid_and_stable(self, result):
+        text_a = decomposition_to_json(result)
+        text_b = decomposition_to_json(result)
+        assert text_a == text_b  # deterministic (sorted keys)
+        json.loads(text_a)
+
+    def test_round_trip_coreness(self, result):
+        buffer = io.StringIO(decomposition_to_json(result))
+        table = load_coreness(buffer)
+        assert table == result.coreness_by_clique()
+
+    def test_round_trip_via_file(self, result, tmp_path):
+        path = tmp_path / "decomp.json"
+        decomposition_to_json(result, target=str(path))
+        assert load_coreness(str(path)) == result.coreness_by_clique()
+
+    def test_schema_version_checked(self):
+        bad = io.StringIO(json.dumps({"schema_version": 99, "coreness": []}))
+        with pytest.raises(ParameterError):
+            load_coreness(bad)
+
+    def test_tree_optional(self, result):
+        doc = decomposition_to_dict(result, include_tree=False)
+        assert "hierarchy" not in doc
+
+    def test_coreness_only_result(self):
+        r = nucleus_decomposition(Graph.complete(4), 2, 3, hierarchy=False)
+        doc = decomposition_to_dict(r)
+        assert "hierarchy" not in doc
+        assert len(doc["coreness"]) == 6
+
+
+class TestDot:
+    def test_valid_dot_structure(self, result):
+        dot = tree_to_dot(result)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        # one box per internal node
+        assert dot.count("shape=box") == result.tree.n_internal
+        # leaves included at this size
+        assert "shape=ellipse" in dot
+
+    def test_leaf_suppression(self, result):
+        dot = tree_to_dot(result, include_leaves=False)
+        assert "shape=ellipse" not in dot
+        dot_small = tree_to_dot(result, max_leaves=1)
+        assert "shape=ellipse" not in dot_small
+
+    def test_requires_tree(self):
+        r = nucleus_decomposition(Graph.complete(4), 2, 3, hierarchy=False)
+        with pytest.raises(ParameterError):
+            tree_to_dot(r)
+
+
+class TestRows:
+    def test_rows_sorted_and_complete(self, result):
+        rows = nuclei_to_rows(result)
+        assert len(rows) == result.tree.n_internal
+        keys = [(-row["level"], -row["n_vertices"]) for row in rows]
+        assert keys == sorted(keys)
+        for row in rows:
+            assert 0 <= row["density"] <= 1
+            assert row["n_vertices"] == len(row["vertices"])
+
+    def test_min_vertices_filter(self, result):
+        assert nuclei_to_rows(result, min_vertices=5) != []
+        assert all(row["n_vertices"] >= 5
+                   for row in nuclei_to_rows(result, min_vertices=5))
+
+    def test_requires_tree(self):
+        r = nucleus_decomposition(Graph.complete(4), 2, 3, hierarchy=False)
+        with pytest.raises(ParameterError):
+            nuclei_to_rows(r)

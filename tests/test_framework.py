@@ -1,0 +1,73 @@
+"""Unit tests for the interleaved framework driver (core.framework)."""
+
+import pytest
+
+from repro.core.framework import InterleavedResult, anh_bl, anh_el, run_interleaved
+from repro.core.link_efficient import LinkEfficient
+from repro.core.nucleus import arb_nucleus, peel_exact, prepare
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph
+
+
+class TestRunInterleaved:
+    def test_custom_link_factory_receives_live_core(self):
+        g = planted_nuclei([5, 4], bridge=True)
+        prep = prepare(g, 2, 3)
+        captured = {}
+
+        def make_link(core_live):
+            captured["core"] = core_live
+            return LinkEfficient(core_live)
+
+        out = run_interleaved(prep, make_link, counter=None)
+        # the live array IS the final coreness array
+        assert captured["core"] == out.coreness.core
+        assert out.tree is not None
+
+    def test_custom_peel_function(self):
+        g = erdos_renyi(18, 0.4, seed=2)
+        prep = prepare(g, 2, 3)
+        calls = {}
+
+        def peel(incidence, counter=None, link=None, core_out=None):
+            calls["used"] = True
+            return peel_exact(incidence, counter=counter, link=link,
+                              core_out=core_out)
+
+        out = run_interleaved(prep, lambda core: LinkEfficient(core),
+                              counter=None, peel=peel)
+        assert calls["used"]
+        assert out.coreness.core == peel_exact(prep.incidence).core
+
+    def test_timing_stats_present(self):
+        g = erdos_renyi(18, 0.4, seed=3)
+        out = anh_el(g, 2, 3)
+        assert out.stats["seconds_coreness"] >= 0
+        assert out.stats["seconds_tree"] >= 0
+
+    def test_result_type(self):
+        g = Graph.complete(5)
+        out = anh_bl(g, 2, 3)
+        assert isinstance(out, InterleavedResult)
+
+
+class TestBucketingPassThrough:
+    def test_arb_nucleus_heap_bucketing(self):
+        g = erdos_renyi(25, 0.35, seed=6)
+        a = arb_nucleus(g, 2, 3)
+        b = arb_nucleus(g, 2, 3, bucketing="heap")
+        assert a.core == b.core
+        assert a.rho == b.rho
+
+
+class TestSubgraphDrillDown:
+    def test_extract_and_redecompose(self):
+        from repro import nucleus_decomposition
+        g = planted_nuclei([7, 4], bridge=True)
+        outer = nucleus_decomposition(g, 2, 3)
+        deepest = outer.nuclei_at(outer.max_core)[0]
+        sub, remap = outer.extract_subgraph(deepest)
+        assert sub.n == 7  # the K7 block
+        inner = nucleus_decomposition(sub, 3, 4)
+        # K7 under (3,4): every triangle in comb(4, 1) = 4 four-cliques
+        assert set(inner.core) == {4.0}

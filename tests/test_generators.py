@@ -1,0 +1,135 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs import generators as gen
+from repro.graphs.connectivity import connected_components, n_components
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("build", [
+        lambda seed: gen.erdos_renyi(50, 0.2, seed=seed),
+        lambda seed: gen.barabasi_albert(50, 3, seed=seed),
+        lambda seed: gen.powerlaw_cluster(50, 3, 0.6, seed=seed),
+        lambda seed: gen.watts_strogatz(50, 2, 0.2, seed=seed),
+        lambda seed: gen.rmat(6, 3, seed=seed),
+        lambda seed: gen.tree_graph(50, seed=seed),
+        lambda seed: gen.random_bipartite_like(20, 20, 0.2, seed=seed),
+    ])
+    def test_same_seed_same_graph(self, build):
+        assert build(7) == build(7)
+
+    def test_different_seeds_differ(self):
+        assert gen.erdos_renyi(50, 0.3, seed=1) != gen.erdos_renyi(50, 0.3, seed=2)
+
+
+class TestErdosRenyi:
+    def test_extreme_probabilities(self):
+        assert gen.erdos_renyi(10, 0.0).m == 0
+        assert gen.erdos_renyi(10, 1.0).m == 45
+
+    def test_invalid_p(self):
+        with pytest.raises(ParameterError):
+            gen.erdos_renyi(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = gen.barabasi_albert(100, 3, seed=1)
+        # m_attach distinct edges per vertex beyond the edgeless seed set
+        assert g.m == (100 - 3) * 3
+
+    def test_small_n_gives_clique(self):
+        assert gen.barabasi_albert(3, 5).m == 3
+
+    def test_invalid_m(self):
+        with pytest.raises(ParameterError):
+            gen.barabasi_albert(10, 0)
+
+    def test_heavy_tail(self):
+        g = gen.barabasi_albert(400, 2, seed=5)
+        assert g.max_degree() > 4 * (2 * g.m / g.n)  # hubs exist
+
+
+class TestPowerlawCluster:
+    def test_triangle_rich(self):
+        from repro.cliques import triangle_count
+        clustered = gen.powerlaw_cluster(200, 3, 0.9, seed=1)
+        unclustered = gen.powerlaw_cluster(200, 3, 0.0, seed=1)
+        assert triangle_count(clustered) > triangle_count(unclustered)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            gen.powerlaw_cluster(10, 0, 0.5)
+        with pytest.raises(ParameterError):
+            gen.powerlaw_cluster(10, 2, 1.5)
+
+
+class TestLatticeFamilies:
+    def test_ring_lattice_degrees(self):
+        g = gen.ring_lattice(20, 2)
+        assert all(g.degree(v) == 4 for v in range(20))
+
+    def test_ring_lattice_trivial(self):
+        assert gen.ring_lattice(5, 0).m == 0
+
+    def test_watts_strogatz_keeps_edge_budget(self):
+        base = gen.ring_lattice(60, 3)
+        ws = gen.watts_strogatz(60, 3, 0.3, seed=2)
+        assert ws.m <= base.m  # rewiring can only collide, never add
+        assert ws.m >= base.m - 20
+
+    def test_invalid_rewire(self):
+        with pytest.raises(ParameterError):
+            gen.watts_strogatz(10, 2, -0.1)
+
+
+class TestPlantedNuclei:
+    def test_block_structure(self):
+        g = gen.planted_nuclei([4, 3], bridge=False)
+        assert g.n == 7
+        assert g.m == 6 + 3
+        assert n_components(connected_components(g)) == 2
+
+    def test_bridges_connect(self):
+        g = gen.planted_nuclei([4, 3, 2], bridge=True)
+        assert n_components(connected_components(g)) == 1
+
+    def test_blocks_are_cliques(self):
+        g = gen.planted_nuclei([5, 4], bridge=True)
+        assert g.is_clique(range(5))
+        assert g.is_clique(range(5, 9))
+
+    def test_invalid_block(self):
+        with pytest.raises(ParameterError):
+            gen.planted_nuclei([3, 0])
+
+
+class TestRmat:
+    def test_size_and_skew(self):
+        g = gen.rmat(7, 4, seed=3)
+        assert g.n == 128
+        assert g.m > 0
+        avg = 2 * g.m / g.n
+        assert g.max_degree() > 3 * avg  # heavy skew
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            gen.rmat(0, 4)
+        with pytest.raises(ParameterError):
+            gen.rmat(4, 0)
+        with pytest.raises(ParameterError):
+            gen.rmat(4, 4, a=0.5, b=0.3, c=0.3)
+
+
+class TestDegenerateFamilies:
+    def test_bipartite_is_triangle_free(self):
+        from repro.cliques import triangle_count
+        g = gen.random_bipartite_like(15, 15, 0.4, seed=1)
+        assert triangle_count(g) == 0
+
+    def test_tree_is_acyclic(self):
+        g = gen.tree_graph(40, seed=2)
+        assert g.m == g.n - 1
+        assert n_components(connected_components(g)) == 1

@@ -1,0 +1,102 @@
+"""Golden regression tests: pin exact outputs for a fixed instance.
+
+Every algorithm in this repo is deterministic for a fixed seed, so the
+complete decomposition of one small, hand-checkable graph is pinned here.
+If an optimization ever changes observable behaviour, these tests name
+exactly what moved. The instance is the paper-style nested structure:
+K6 ⊃ shell, separate K4, sparse tail (see tests/conftest.py).
+"""
+
+import pytest
+
+from repro import nucleus_decomposition
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def graph(paper_like_graph):
+    return paper_like_graph
+
+
+@pytest.fixture(scope="module")
+def truss(graph):
+    return nucleus_decomposition(graph, 2, 3)
+
+
+class TestGoldenCoreness:
+    def test_k6_edges(self, truss):
+        # every K6 edge sits in 4 triangles inside the K6
+        for a in range(6):
+            for b in range(a + 1, 6):
+                assert truss.core_of((a, b)) == 4
+
+    def test_k4_edges(self, truss):
+        for a in range(10, 14):
+            for b in range(a + 1, 14):
+                assert truss.core_of((a, b)) == 2
+
+    def test_tail_edges_zero(self, truss):
+        assert truss.core_of((13, 14)) == 0
+        assert truss.core_of((14, 15)) == 0
+
+    def test_global_shape(self, truss):
+        assert truss.max_core == 4
+        assert truss.n_r == truss.graph.m == 37
+        assert truss.n_s == 32
+        assert truss.rho == 5
+
+    def test_coreness_histogram(self, truss):
+        from repro.baselines.naive_hierarchy import coreness_histogram
+        assert coreness_histogram(truss.core) == {
+            4.0: 15, 1.0: 12, 2.0: 6, 0.0: 4}
+
+
+class TestGoldenHierarchy:
+    def test_levels(self, truss):
+        assert truss.hierarchy_levels() == [4, 2, 1]
+
+    def test_nuclei_at_each_level(self, truss):
+        assert truss.nuclei_at(4) == [[0, 1, 2, 3, 4, 5]]
+        assert sorted(map(tuple, truss.nuclei_at(2))) == [
+            (0, 1, 2, 3, 4, 5), (10, 11, 12, 13)]
+        level1 = sorted(map(tuple, truss.nuclei_at(1)))
+        assert (0, 1, 2, 3, 4, 5, 6, 7, 8, 9) in level1
+
+    def test_tree_shape(self, truss):
+        tree = truss.tree
+        assert tree.n_internal == 3
+        assert len(tree.roots()) == 2 + 4  # two trees + 4 core-0 leaves
+
+    def test_densest(self, truss):
+        best = truss.densest_nucleus(min_vertices=4)
+        assert best.n_vertices == 6
+        assert best.density == pytest.approx(1.0)
+
+
+class TestGoldenOneThreeNucleus:
+    def test_13_core_values(self, graph):
+        d = nucleus_decomposition(graph, 1, 3)
+        # a K6 vertex is in C(5,2)=10 triangles of the K6
+        assert d.core_of((0,)) == 10
+        # a K4 vertex is in C(3,2)=3 triangles
+        assert d.core_of((10,)) == 3
+        # the tail vertices touch no triangle
+        assert d.core_of((15,)) == 0
+
+    def test_34_nucleus(self, graph):
+        d = nucleus_decomposition(graph, 3, 4)
+        # K6 triangles are each in C(3,1)=3 of the K6's 4-cliques
+        assert d.core_of((0, 1, 2)) == 3
+        assert d.max_core == 3
+
+
+class TestGoldenApproximate:
+    def test_delta_one_estimates(self, graph):
+        d = nucleus_decomposition(graph, 2, 3, approx=True, delta=1.0)
+        # deterministic geometric peeling; estimates refined by original
+        # degree, so K6 edges touching the shell may differ slightly
+        k6_values = {d.core_of((a, b))
+                     for a in range(6) for b in range(a + 1, 6)}
+        assert k6_values == {4.0, 5.0}
+        assert all(4 <= v <= (3 + 1) * 2 * 4 for v in k6_values)
+        assert d.core_of((13, 14)) == 0

@@ -1,0 +1,132 @@
+"""Unit + property tests for the Graph structure (repro.graphs.graph)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graphs.graph import Graph, overlay, union_disjoint
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.n == 3 and g.m == 2
+        assert g.neighbors(1) == (0, 2)
+
+    def test_duplicate_and_reversed_edges_merge(self):
+        g = Graph(2, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(2, [(0, 2)])
+        with pytest.raises(GraphFormatError):
+            Graph(2, [(-1, 0)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(-1, [])
+
+    def test_from_edges_infers_n(self):
+        g = Graph.from_edges([(0, 5), (2, 3)])
+        assert g.n == 6 and g.m == 2
+
+    def test_empty_and_complete(self):
+        assert Graph.empty(4).m == 0
+        k5 = Graph.complete(5)
+        assert k5.m == 10
+        assert all(k5.degree(v) == 4 for v in range(5))
+
+    def test_isolated_vertices_kept(self):
+        g = Graph(10, [(0, 1)])
+        assert g.n == 10
+        assert g.degree(9) == 0
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2) == (0, 1, 3)
+
+    def test_has_edge(self):
+        g = Graph(3, [(0, 1)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 99)  # out of range is just False
+
+    def test_edges_canonical_order(self):
+        g = Graph(4, [(3, 1), (0, 2), (1, 0)])
+        assert list(g.edges()) == [(0, 1), (0, 2), (1, 3)]
+
+    def test_degrees_and_max(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        assert g.degrees() == [2, 1, 1]
+        assert g.max_degree() == 2
+
+    def test_is_clique(self):
+        g = Graph.complete(4)
+        assert g.is_clique([0, 1, 2, 3])
+        g2 = Graph(3, [(0, 1)])
+        assert g2.is_clique([0, 1])
+        assert not g2.is_clique([0, 1, 2])
+
+    def test_density(self):
+        assert Graph.complete(4).density() == pytest.approx(1.0)
+        assert Graph(4, [(0, 1)]).density() == pytest.approx(1 / 6)
+        assert Graph.empty(1).density() == 0.0
+
+    def test_equality_and_hash(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(1, 0)])
+        c = Graph(3, [(0, 2)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestDerived:
+    def test_induced_subgraph(self):
+        g = Graph.complete(5)
+        sub, remap = g.induced_subgraph([1, 3, 4])
+        assert sub.n == 3 and sub.m == 3
+        assert remap == {1: 0, 3: 1, 4: 2}
+
+    def test_induced_subgraph_drops_external_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sub, _ = g.induced_subgraph([0, 2])
+        assert sub.m == 0
+
+    def test_relabeled(self):
+        g = Graph(3, [(0, 1)])
+        h = g.relabeled([2, 1, 0])
+        assert h.has_edge(2, 1)
+        assert not h.has_edge(0, 1)
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphFormatError):
+            g.relabeled([0, 0, 1])
+
+    def test_union_disjoint(self):
+        g = union_disjoint([Graph.complete(3), Graph.complete(2)])
+        assert g.n == 5 and g.m == 4
+        assert g.has_edge(3, 4)
+        assert not g.has_edge(2, 3)
+
+    def test_overlay(self):
+        g = overlay(4, [(0, 1)], [(0, 1), (2, 3)])
+        assert g.m == 2
+
+
+@given(st.sets(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40))
+def test_handshake_lemma(pairs):
+    edges = [(u, v) for u, v in pairs if u != v]
+    g = Graph(15, edges)
+    assert sum(g.degrees()) == 2 * g.m
+    # neighbor symmetry
+    for u in range(g.n):
+        for v in g.neighbors(u):
+            assert u in g.neighbor_set(v)

@@ -1,0 +1,78 @@
+"""Unit tests for graph statistics (repro.graphs.stats)."""
+
+import pytest
+
+from repro.graphs.generators import (barabasi_albert, erdos_renyi,
+                                     ring_lattice, watts_strogatz)
+from repro.graphs.graph import Graph
+from repro.graphs.stats import (average_local_clustering, degree_histogram,
+                                degree_skew, degree_summary,
+                                global_clustering, profile_graph)
+
+
+class TestDegreeSummaries:
+    def test_summary_values(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])  # star
+        summary = degree_summary(g)
+        assert summary["max"] == 3
+        assert summary["min"] == 1
+        assert summary["mean"] == pytest.approx(1.5)
+
+    def test_empty_graph(self):
+        assert degree_summary(Graph.empty(0))["max"] == 0
+
+    def test_histogram(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert degree_histogram(g) == [(1, 3), (3, 1)]
+
+    def test_skew_star_vs_ring(self):
+        star = Graph(11, [(0, v) for v in range(1, 11)])
+        ring = ring_lattice(11, 1)
+        assert degree_skew(star) > degree_skew(ring)
+        assert degree_skew(ring) == pytest.approx(1.0)
+
+    def test_skew_degenerate(self):
+        assert degree_skew(Graph.empty(3)) == 0.0
+
+
+class TestClustering:
+    def test_complete_graph_is_fully_clustered(self):
+        k5 = Graph.complete(5)
+        assert global_clustering(k5) == pytest.approx(1.0)
+        assert average_local_clustering(k5) == pytest.approx(1.0)
+
+    def test_triangle_free_graph(self):
+        path = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert global_clustering(path) == 0.0
+        assert average_local_clustering(path) == 0.0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        g = erdos_renyi(60, 0.15, seed=4)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(range(g.n))
+        assert global_clustering(g) == pytest.approx(nx.transitivity(nxg))
+        assert average_local_clustering(g) == pytest.approx(
+            nx.average_clustering(nxg))
+
+    def test_lattice_more_clustered_than_random(self):
+        ws = watts_strogatz(100, 3, 0.05, seed=2)
+        er = erdos_renyi(100, 6 / 99, seed=2)
+        assert average_local_clustering(ws) > average_local_clustering(er)
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        g = barabasi_albert(80, 3, seed=6)
+        profile = profile_graph(g)
+        assert profile.n == 80
+        assert profile.m == g.m
+        assert profile.max_degree == g.max_degree()
+        assert profile.degeneracy >= 1
+        assert profile.degree_skew > 1.0
+
+    def test_profile_of_clique(self):
+        profile = profile_graph(Graph.complete(6))
+        assert profile.degeneracy == 5
+        assert profile.global_clustering == pytest.approx(1.0)
+        assert profile.degree_skew == pytest.approx(1.0)

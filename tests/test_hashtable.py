@@ -1,0 +1,138 @@
+"""Unit + property tests for the parallel hash table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.counters import WorkSpanCounter
+from repro.parallel.hashtable import ParallelHashTable
+
+
+class TestBasics:
+    def test_set_get(self):
+        t = ParallelHashTable()
+        t.set("a", 1)
+        assert t.get("a") == 1
+        assert t["a"] == 1
+        assert len(t) == 1
+
+    def test_get_missing(self):
+        t = ParallelHashTable()
+        assert t.get("x") is None
+        assert t.get("x", 7) == 7
+        with pytest.raises(KeyError):
+            t["x"]
+
+    def test_overwrite(self):
+        t = ParallelHashTable()
+        t["k"] = 1
+        t["k"] = 2
+        assert t["k"] == 2
+        assert len(t) == 1
+
+    def test_setdefault_insert_if_absent(self):
+        t = ParallelHashTable()
+        assert t.setdefault("k", 1) == 1
+        assert t.setdefault("k", 2) == 1  # loser gets the winner's value
+        assert t["k"] == 1
+
+    def test_contains_and_iter(self):
+        t = ParallelHashTable()
+        for key in ("a", "b", "c"):
+            t[key] = key.upper()
+        assert "a" in t and "z" not in t
+        assert sorted(t) == ["a", "b", "c"]
+        assert sorted(t.keys()) == ["a", "b", "c"]
+        assert sorted(t.values()) == ["A", "B", "C"]
+        assert sorted(t.items()) == [("a", "A"), ("b", "B"), ("c", "C")]
+
+    def test_pop(self):
+        t = ParallelHashTable()
+        t["k"] = 1
+        assert t.pop("k") == 1
+        assert "k" not in t
+        assert len(t) == 0
+        assert t.pop("k", 9) == 9
+        with pytest.raises(KeyError):
+            t.pop("k")
+
+    def test_reinsert_after_pop_uses_tombstone_path(self):
+        t = ParallelHashTable()
+        t["k"] = 1
+        t.pop("k")
+        t["k"] = 2
+        assert t["k"] == 2
+        assert len(t) == 1
+
+
+class TestGrowth:
+    def test_grows_past_initial_capacity(self):
+        t = ParallelHashTable(capacity=8)
+        for i in range(100):
+            t[i] = i * i
+        assert len(t) == 100
+        for i in range(100):
+            assert t[i] == i * i
+
+    def test_growth_with_tombstones(self):
+        t = ParallelHashTable(capacity=8)
+        for i in range(50):
+            t[i] = i
+        for i in range(0, 50, 2):
+            t.pop(i)
+        for i in range(100, 140):
+            t[i] = i
+        assert len(t) == 25 + 40
+        assert all(i in t for i in range(1, 50, 2))
+        assert all(i not in t for i in range(0, 50, 2))
+
+    def test_integer_keys_colliding_mod_capacity(self):
+        t = ParallelHashTable(capacity=8)
+        keys = [0, 8, 16, 24, 32]  # all hash to slot 0 mod 8
+        for k in keys:
+            t[k] = k
+        assert all(t[k] == k for k in keys)
+
+
+class TestAccounting:
+    def test_operations_metered(self):
+        c = WorkSpanCounter()
+        t = ParallelHashTable(counter=c)
+        t["a"] = 1
+        t.get("a")
+        t.pop("a")
+        assert c.work >= 3
+
+    def test_charge_batch(self):
+        c = WorkSpanCounter()
+        t = ParallelHashTable(counter=c)
+        t.charge_batch(1024)
+        assert c.span >= 10
+
+    def test_cas_stats_exposed(self):
+        t = ParallelHashTable()
+        t["a"] = 1
+        assert t.atomic_stats.cas_attempts >= 1
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcdefgh"),
+                          st.sampled_from(["set", "pop", "setdefault"]),
+                          st.integers(0, 9)),
+                max_size=200))
+def test_matches_dict_model(operations):
+    """Differential test against Python's dict under random op sequences."""
+    table = ParallelHashTable(capacity=8)
+    model = {}
+    for key, op, value in operations:
+        if op == "set":
+            table[key] = value
+            model[key] = value
+        elif op == "setdefault":
+            got = table.setdefault(key, value)
+            expected = model.setdefault(key, value)
+            assert got == expected
+        else:  # pop
+            got = table.pop(key, None)
+            expected = model.pop(key, None)
+            assert got == expected
+        assert len(table) == len(model)
+    assert sorted(table.items()) == sorted(model.items())

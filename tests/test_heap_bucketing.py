@@ -1,0 +1,94 @@
+"""Unit + property tests for the heap-based bucketing (footnote 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.nucleus import peel_exact, prepare
+from repro.ds.bucketing import BucketQueue
+from repro.ds.heap_bucketing import HeapBucketQueue
+from repro.errors import DataStructureError, ParameterError
+from repro.graphs.generators import erdos_renyi
+
+
+class TestBasics:
+    def test_extracts_minimum_batch(self):
+        q = HeapBucketQueue([3, 1, 2, 1])
+        value, ids = q.next_bucket()
+        assert value == 1
+        assert sorted(ids) == [1, 3]
+
+    def test_decrement_and_extract(self):
+        q = HeapBucketQueue([5, 3])
+        q.decrement(0, 4)
+        value, ids = q.next_bucket()
+        assert (value, ids) == (1, [0])
+
+    def test_value_increase_rejected(self):
+        q = HeapBucketQueue([2])
+        with pytest.raises(DataStructureError):
+            q.update(0, 5)
+
+    def test_update_dead_rejected(self):
+        q = HeapBucketQueue([1, 2])
+        q.next_bucket()
+        with pytest.raises(DataStructureError):
+            q.decrement(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataStructureError):
+            HeapBucketQueue([-1])
+
+    def test_empty_extraction_raises(self):
+        q = HeapBucketQueue([])
+        with pytest.raises(DataStructureError):
+            q.next_bucket()
+
+    def test_peek_min(self):
+        q = HeapBucketQueue([4, 2])
+        assert q.peek_min() == 2
+        list(q.drain())
+        assert q.peek_min() is None
+
+    def test_memory_is_three_arrays(self):
+        assert HeapBucketQueue([1] * 100).memory_units() == 300
+        # unlike the Julienne structure, huge values cost nothing extra
+        assert HeapBucketQueue([10 ** 6]).memory_units() == 3
+
+
+@given(st.lists(st.integers(0, 25), min_size=1, max_size=40),
+       st.lists(st.tuples(st.integers(0, 39), st.integers(1, 4)),
+                max_size=40))
+def test_differential_against_julienne(values, decrements):
+    """Both structures drain identically under interleaved decrements."""
+    julienne = BucketQueue(values)
+    heap = HeapBucketQueue(values)
+    decrements = list(decrements)
+    while not julienne.empty:
+        vj, idsj = julienne.next_bucket()
+        vh, idsh = heap.next_bucket()
+        assert vj == vh
+        assert sorted(idsj) == sorted(idsh)
+        while decrements:
+            ident, amount = decrements.pop()
+            ident %= len(values)
+            if julienne.alive(ident):
+                julienne.decrement(ident, amount)
+                heap.decrement(ident, amount)
+                break
+    assert heap.empty
+
+
+class TestPeelingIntegration:
+    def test_peel_results_identical(self):
+        g = erdos_renyi(30, 0.3, seed=4)
+        for r, s in [(1, 2), (2, 3), (2, 4)]:
+            prep = prepare(g, r, s)
+            a = peel_exact(prep.incidence, bucketing="julienne")
+            b = peel_exact(prep.incidence, bucketing="heap")
+            assert a.core == b.core
+            assert a.rho == b.rho
+
+    def test_unknown_bucketing_rejected(self):
+        prep = prepare(erdos_renyi(10, 0.3, seed=1), 1, 2)
+        with pytest.raises(ParameterError):
+            peel_exact(prep.incidence, bucketing="fibonacci")

@@ -1,0 +1,148 @@
+"""Cross-validation: every hierarchy algorithm vs the definition oracle.
+
+This is the heart of the test suite. For each graph and (r, s) pair, the
+oracle (:func:`repro.baselines.naive_hierarchy.naive_hierarchy`, built
+directly from the definition of the level graphs) fixes the ground-truth
+partition chain; every optimized algorithm must produce an equivalent tree.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import RS_PAIRS, oracle_chain
+from repro.baselines.naive_hierarchy import (level_graph_components,
+                                             naive_hierarchy)
+from repro.core.framework import anh_bl, anh_el
+from repro.core.hierarchy_te import (hierarchy_te_practical,
+                                     hierarchy_te_theoretical)
+from repro.core.nucleus import peel_exact, prepare
+from repro.ds.union_find import partition_refines
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph
+
+ALGORITHMS = [
+    ("anh-el", anh_el),
+    ("anh-bl", anh_bl),
+    ("anh-te-practical", hierarchy_te_practical),
+    ("anh-te-theoretical", hierarchy_te_theoretical),
+]
+
+
+@pytest.mark.parametrize("name,algorithm", ALGORITHMS)
+class TestAgainstOracle:
+    def test_two_triangles(self, name, algorithm, two_triangles_bridge):
+        prep, res, oracle = oracle_chain(two_triangles_bridge, 2, 3)
+        out = algorithm(two_triangles_bridge, 2, 3, prepared=prep)
+        assert out.coreness.core == res.core
+        assert out.tree.partition_chain() == oracle
+        # two separate triangles at level 1
+        assert len(out.tree.nuclei_at(1)) == 2
+
+    def test_paper_like_graph(self, name, algorithm, paper_like_graph):
+        for r, s in [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]:
+            prep, res, oracle = oracle_chain(paper_like_graph, r, s)
+            out = algorithm(paper_like_graph, r, s, prepared=prep)
+            assert out.coreness.core == res.core, (r, s)
+            assert out.tree.partition_chain() == oracle, (r, s)
+
+    def test_planted_nuclei_nesting(self, name, algorithm, planted):
+        prep, res, oracle = oracle_chain(planted, 2, 3)
+        out = algorithm(planted, 2, 3, prepared=prep)
+        assert out.tree.partition_chain() == oracle
+        # The K6 nucleus (level 4) nests inside the level-2 nucleus that
+        # also contains the K4.
+        tree = out.tree
+        deep = tree.nuclei_at(4)
+        assert len(deep) == 1 and len(deep[0]) == 15  # K6's 15 edges
+
+    def test_social_graph(self, name, algorithm, social_graph):
+        for r, s in [(2, 3), (1, 3)]:
+            prep, res, oracle = oracle_chain(social_graph, r, s)
+            out = algorithm(social_graph, r, s, prepared=prep)
+            assert out.tree.partition_chain() == oracle, (r, s)
+
+    @settings(deadline=None, max_examples=12)
+    @given(pairs=st.sets(st.tuples(st.integers(0, 11), st.integers(0, 11)),
+                         max_size=40),
+           rs=st.sampled_from(RS_PAIRS))
+    def test_random_graphs_property(self, name, algorithm, pairs, rs):
+        r, s = rs
+        g = Graph(12, [(u, v) for u, v in pairs if u != v])
+        prep, res, oracle = oracle_chain(g, r, s)
+        if prep.n_r == 0:
+            return
+        out = algorithm(g, r, s, prepared=prep)
+        assert out.coreness.core == res.core
+        assert out.tree.partition_chain() == oracle
+
+    def test_tree_structurally_valid(self, name, algorithm, social_graph):
+        out = algorithm(social_graph, 2, 3)
+        out.tree.validate()  # raises on violation
+
+    def test_leaves_biject_with_r_cliques(self, name, algorithm, planted):
+        prep = prepare(planted, 2, 3)
+        out = algorithm(planted, 2, 3, prepared=prep)
+        assert out.tree.n_leaves == prep.n_r
+
+
+class TestHierarchySemantics:
+    def test_partitions_nest_across_levels(self, social_graph):
+        """Components at level c refine components at c' < c (monotone)."""
+        prep = prepare(social_graph, 2, 3)
+        res = peel_exact(prep.incidence)
+        tree = naive_hierarchy(prep.incidence, res.core)
+        levels = tree.distinct_levels()
+        for hi, lo in zip(levels, levels[1:]):
+            fine = {i: set(nucleus)
+                    for i, nucleus in enumerate(tree.nuclei_at(hi))}
+            coarse = {i: set(nucleus)
+                      for i, nucleus in enumerate(tree.nuclei_at(lo))}
+            assert partition_refines(
+                {k: sorted(v) for k, v in fine.items()},
+                {k: sorted(v) for k, v in coarse.items()})
+
+    def test_nuclei_match_level_graph_components(self, social_graph):
+        """Cutting the tree = running connectivity on the level graph."""
+        prep = prepare(social_graph, 2, 3)
+        res = peel_exact(prep.incidence)
+        out = anh_el(social_graph, 2, 3, prepared=prep)
+        for c in out.tree.distinct_levels():
+            from_tree = sorted(tuple(x) for x in out.tree.nuclei_at(c))
+            from_graph = sorted(
+                tuple(x) for x in level_graph_components(
+                    prep.incidence, res.core, c))
+            assert from_tree == from_graph, c
+
+    def test_interleaved_and_two_phase_trees_equivalent(self, social_graph):
+        a = anh_el(social_graph, 2, 3)
+        b = hierarchy_te_practical(social_graph, 2, 3)
+        c = hierarchy_te_theoretical(social_graph, 2, 3)
+        assert (a.tree.partition_chain() == b.tree.partition_chain()
+                == c.tree.partition_chain())
+
+    def test_stats_exposed(self, social_graph):
+        out = anh_el(social_graph, 2, 3)
+        assert out.stats["link_calls"] > 0
+        assert out.stats["memory_units"] > 0
+        out_bl = anh_bl(social_graph, 2, 3)
+        # ANH-BL's defining inefficiency: many more unites, more memory.
+        assert out_bl.stats["unite_calls"] > out.stats["unite_calls"]
+        assert out_bl.stats["memory_units"] > out.stats["memory_units"]
+
+    def test_isolated_r_cliques_stay_roots(self):
+        # A triangle plus an isolated edge: the edge has (2,3) core 0 and
+        # must remain a root leaf.
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        prep = prepare(g, 2, 3)
+        out = anh_el(g, 2, 3, prepared=prep)
+        isolated = prep.index.id_of((3, 4))
+        assert out.tree.parent[isolated] == -1
+
+    def test_seed_does_not_change_partitions(self, social_graph):
+        chains = set()
+        for seed in (0, 1, 17):
+            out = anh_el(social_graph, 2, 3, seed=seed)
+            chains.add(frozenset(
+                (lvl, parts) for lvl, parts
+                in out.tree.partition_chain().items()))
+        assert len(chains) == 1

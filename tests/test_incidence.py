@@ -1,0 +1,113 @@
+"""Unit + property tests for the s/r incidence structures."""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cliques.incidence import (MaterializedIncidence, ReEnumIncidence,
+                                     build_incidence, validate_rs)
+from repro.errors import ParameterError
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.graph import Graph
+
+
+class TestValidateRs:
+    def test_valid(self):
+        validate_rs(1, 2)
+        validate_rs(3, 7)
+
+    @pytest.mark.parametrize("r,s", [(0, 2), (2, 2), (3, 2), (-1, 1)])
+    def test_invalid(self, r, s):
+        with pytest.raises(ParameterError):
+            validate_rs(r, s)
+
+
+class TestMaterialized:
+    def test_complete_graph_counts(self):
+        g = Graph.complete(5)
+        _, index, inc = build_incidence(g, 2, 3)
+        assert inc.n_r == 10
+        assert inc.n_s == 10
+        # every edge of K5 is in 3 triangles
+        assert inc.initial_degrees() == [3] * 10
+
+    def test_members_are_all_r_subsets(self):
+        g = Graph.complete(4)
+        _, index, inc = build_incidence(g, 2, 4)
+        assert inc.n_s == 1
+        members = inc.members(0)
+        assert len(members) == comb(4, 2)
+        assert sorted(members) == list(range(6))
+
+    def test_postings_align_with_members(self):
+        g = erdos_renyi(20, 0.4, seed=5)
+        _, index, inc = build_incidence(g, 2, 3)
+        for rid in range(inc.n_r):
+            for sid in inc.s_clique_ids_of(rid):
+                assert rid in inc.members(sid)
+
+    def test_s_choose_r(self):
+        g = Graph.complete(5)
+        _, _, inc = build_incidence(g, 2, 4)
+        assert inc.s_choose_r == 6
+
+    def test_memory_units_scale_with_n_s(self):
+        g = Graph.complete(6)
+        _, _, mat = build_incidence(g, 2, 3)
+        _, _, ree = build_incidence(g, 2, 3, strategy="reenum")
+        assert mat.memory_units() > ree.memory_units()
+
+
+class TestStrategy:
+    def test_unknown_strategy(self):
+        with pytest.raises(ParameterError):
+            build_incidence(Graph.complete(3), 1, 2, strategy="bogus")
+
+    def test_invalid_rs_through_builder(self):
+        with pytest.raises(ParameterError):
+            build_incidence(Graph.complete(3), 2, 2)
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.sets(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                   max_size=30),
+           st.sampled_from([(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]))
+    def test_strategies_are_equivalent(self, pairs, rs):
+        """Materialized and re-enumerating incidence expose identical data."""
+        r, s = rs
+        g = Graph(10, [(u, v) for u, v in pairs if u != v])
+        _, index_a, mat = build_incidence(g, r, s)
+        _, index_b, ree = build_incidence(g, r, s, strategy="reenum")
+        assert list(index_a) == list(index_b)
+        assert mat.n_r == ree.n_r and mat.n_s == ree.n_s
+        assert mat.initial_degrees() == ree.initial_degrees()
+        for rid in range(mat.n_r):
+            a = sorted(tuple(sorted(m)) for m in mat.s_cliques_containing(rid))
+            b = sorted(tuple(sorted(m)) for m in ree.s_cliques_containing(rid))
+            assert a == b
+        assert (sorted(map(tuple, mat.iter_s_cliques()))
+                == sorted(map(tuple, ree.iter_s_cliques())))
+
+
+class TestDegreeSemantics:
+    def test_degree_counts_containing_s_cliques(self):
+        # Two triangles sharing an edge: the shared edge has degree 2.
+        g = Graph(4, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+        _, index, inc = build_incidence(g, 2, 3)
+        degrees = inc.initial_degrees()
+        assert degrees[index.id_of((0, 1))] == 2
+        assert degrees[index.id_of((0, 2))] == 1
+        assert degrees[index.id_of((2, 3))] if (2, 3) in index else True
+
+    def test_k_core_case_degrees_are_vertex_degrees(self):
+        g = erdos_renyi(15, 0.3, seed=2)
+        _, index, inc = build_incidence(g, 1, 2)
+        for rid in range(inc.n_r):
+            (v,) = index.clique_of(rid)
+            assert inc.initial_degrees()[rid] == g.degree(v)
+
+    def test_sum_of_degrees_is_cs_r_times_n_s(self):
+        g = erdos_renyi(14, 0.5, seed=4)
+        for r, s in [(1, 3), (2, 3), (2, 4)]:
+            _, _, inc = build_incidence(g, r, s)
+            assert sum(inc.initial_degrees()) == comb(s, r) * inc.n_s

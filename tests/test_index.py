@@ -1,0 +1,71 @@
+"""Unit tests for the r-clique index."""
+
+import pytest
+
+from repro.cliques.index import CliqueIndex
+from repro.errors import DataStructureError, ParameterError
+from repro.graphs.graph import Graph
+from repro.graphs.orientation import arb_orient
+
+
+class TestConstruction:
+    def test_sorted_deterministic_ids(self):
+        idx = CliqueIndex([(2, 1), (0, 1), (0, 2)])
+        assert list(idx) == [(0, 1), (0, 2), (1, 2)]
+        assert idx.id_of((1, 0)) == 0
+
+    def test_duplicates_collapse(self):
+        idx = CliqueIndex([(0, 1), (1, 0)])
+        assert len(idx) == 1
+
+    def test_inconsistent_sizes_rejected(self):
+        with pytest.raises(DataStructureError):
+            CliqueIndex([(0, 1), (0, 1, 2)])
+
+    def test_declared_r_checked(self):
+        with pytest.raises(DataStructureError):
+            CliqueIndex([(0, 1)], r=3)
+
+    def test_empty_requires_r(self):
+        with pytest.raises(ParameterError):
+            CliqueIndex([])
+        idx = CliqueIndex([], r=2)
+        assert len(idx) == 0 and idx.r == 2
+
+    def test_from_orientation(self):
+        g = Graph.complete(4)
+        idx = CliqueIndex.from_orientation(arb_orient(g), 2)
+        assert len(idx) == 6
+        assert idx.r == 2
+
+
+class TestLookups:
+    def setup_method(self):
+        self.idx = CliqueIndex([(0, 1, 2), (1, 2, 3)])
+
+    def test_round_trip(self):
+        for rid in self.idx.ids():
+            assert self.idx.id_of(self.idx.clique_of(rid)) == rid
+
+    def test_order_insensitive_lookup(self):
+        assert self.idx.id_of((2, 1, 0)) == self.idx.id_of((0, 1, 2))
+
+    def test_contains(self):
+        assert (2, 1, 0) in self.idx
+        assert (0, 1, 3) not in self.idx
+
+    def test_get_missing_returns_none(self):
+        assert self.idx.get((0, 1, 3)) is None
+
+    def test_id_of_missing_raises(self):
+        with pytest.raises(DataStructureError):
+            self.idx.id_of((0, 1, 3))
+
+    def test_clique_of_out_of_range(self):
+        with pytest.raises(DataStructureError):
+            self.idx.clique_of(2)
+        with pytest.raises(DataStructureError):
+            self.idx.clique_of(-1)
+
+    def test_label(self):
+        assert self.idx.label(0) == "{0,1,2}"

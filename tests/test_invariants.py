@@ -1,0 +1,167 @@
+"""Deeper property tests on decomposition invariants.
+
+These encode structural facts about nucleus decompositions that any
+correct implementation must satisfy, beyond agreement with the oracle:
+
+* **edge monotonicity** -- adding edges never decreases any surviving
+  r-clique's core number;
+* **isomorphism invariance** -- relabeling vertices permutes but never
+  changes the multiset of core numbers or the hierarchy shape;
+* **disjoint-union locality** -- the decomposition of a disjoint union is
+  the disjoint union of the decompositions;
+* **closed forms** -- complete graphs and planted cliques have known core
+  numbers for every (r, s);
+* **sum bound** -- the sum of core numbers is at most comb(s, r) * n_s
+  (used in the proof of Theorem 5.1);
+* **eager/lazy Algorithm 1 equivalence** (the two bookkeeping schemes).
+"""
+
+import random
+from math import comb
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import nucleus_decomposition
+from repro.core.hierarchy_te import hierarchy_te_theoretical
+from repro.core.nucleus import peel_exact, prepare
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph, union_disjoint
+
+RS = [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]
+
+
+def edge_sets(n=11, max_size=35):
+    return st.sets(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                   max_size=max_size).map(
+        lambda pairs: frozenset((min(u, v), max(u, v))
+                                for u, v in pairs if u != v))
+
+
+class TestEdgeMonotonicity:
+    @settings(deadline=None, max_examples=15)
+    @given(edges=edge_sets(), extra=edge_sets(max_size=6),
+           rs=st.sampled_from(RS))
+    def test_adding_edges_never_lowers_cores(self, edges, extra, rs):
+        r, s = rs
+        small = Graph(11, sorted(edges))
+        big = Graph(11, sorted(edges | extra))
+        prep_small = prepare(small, r, s)
+        prep_big = prepare(big, r, s)
+        if prep_small.n_r == 0:
+            return
+        core_small = peel_exact(prep_small.incidence).core
+        core_big = peel_exact(prep_big.incidence).core
+        for rid in range(prep_small.n_r):
+            clique = prep_small.index.clique_of(rid)
+            big_rid = prep_big.index.get(clique)
+            assert big_rid is not None  # supergraph keeps every r-clique
+            assert core_big[big_rid] >= core_small[rid]
+
+
+class TestIsomorphismInvariance:
+    @settings(deadline=None, max_examples=10)
+    @given(edges=edge_sets(), seed=st.integers(0, 10 ** 6),
+           rs=st.sampled_from(RS))
+    def test_relabeling_preserves_decomposition(self, edges, seed, rs):
+        r, s = rs
+        g = Graph(11, sorted(edges))
+        perm = list(range(11))
+        random.Random(seed).shuffle(perm)
+        h = g.relabeled(perm)
+        dg = nucleus_decomposition(g, r, s)
+        dh = nucleus_decomposition(h, r, s)
+        # core numbers transported along the permutation
+        for clique, value in dg.coreness_by_clique().items():
+            image = tuple(sorted(perm[v] for v in clique))
+            assert dh.coreness_by_clique()[image] == value
+        # hierarchy shape identical: per-level nucleus size multisets
+        for level in dg.hierarchy_levels():
+            sizes_g = sorted(len(x) for x in dg.nuclei_at(level))
+            sizes_h = sorted(len(x) for x in dh.nuclei_at(level))
+            assert sizes_g == sizes_h
+
+
+class TestDisjointUnion:
+    @settings(deadline=None, max_examples=10)
+    @given(e1=edge_sets(n=8, max_size=20), e2=edge_sets(n=8, max_size=20),
+           rs=st.sampled_from([(1, 2), (2, 3), (2, 4)]))
+    def test_union_is_componentwise(self, e1, e2, rs):
+        r, s = rs
+        a = Graph(8, sorted(e1))
+        b = Graph(8, sorted(e2))
+        ab = union_disjoint([a, b])
+        da = nucleus_decomposition(a, r, s)
+        db = nucleus_decomposition(b, r, s)
+        dab = nucleus_decomposition(ab, r, s)
+        # cores agree componentwise (b's vertices shifted by 8)
+        table = dab.coreness_by_clique()
+        for clique, value in da.coreness_by_clique().items():
+            assert table[clique] == value
+        for clique, value in db.coreness_by_clique().items():
+            shifted = tuple(v + 8 for v in clique)
+            assert table[shifted] == value
+        # nuclei never span the two halves
+        for level in dab.hierarchy_levels():
+            for nucleus in dab.nuclei_at(level):
+                assert (max(nucleus) < 8) or (min(nucleus) >= 8)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    @pytest.mark.parametrize("rs", RS)
+    def test_complete_graph(self, n, rs):
+        r, s = rs
+        if s > n:
+            return
+        result = nucleus_decomposition(Graph.complete(n), r, s,
+                                       hierarchy=False)
+        # every r-clique of K_n is in comb(n-r, s-r) s-cliques and the
+        # whole graph is one nucleus
+        expected = comb(n - r, s - r)
+        assert set(result.core) == {float(expected)}
+
+    def test_planted_cliques_any_rs(self):
+        g = planted_nuclei([7, 5], bridge=True)
+        for r, s in [(2, 3), (2, 4), (3, 4), (3, 5)]:
+            result = nucleus_decomposition(g, r, s, hierarchy=False)
+            table = result.coreness_by_clique()
+            k7_clique = tuple(range(r))      # inside the K7 block
+            k5_clique = tuple(range(7, 7 + r))
+            assert table[k7_clique] == comb(7 - r, s - r)
+            assert table[k5_clique] == comb(5 - r, s - r)
+
+
+class TestSumBound:
+    @settings(deadline=None, max_examples=15)
+    @given(edges=edge_sets(), rs=st.sampled_from(RS))
+    def test_core_sum_bounded_by_s_clique_budget(self, edges, rs):
+        """sum of core numbers <= comb(s,r) * n_s (Theorem 5.1's charge)."""
+        r, s = rs
+        g = Graph(11, sorted(edges))
+        prep = prepare(g, r, s)
+        if prep.n_r == 0:
+            return
+        result = peel_exact(prep.incidence)
+        assert sum(result.core) <= comb(s, r) * result.n_s
+
+
+class TestAlgorithm1Bookkeeping:
+    @settings(deadline=None, max_examples=10)
+    @given(edges=edge_sets(), rs=st.sampled_from(RS))
+    def test_eager_and_lazy_relabeling_agree(self, edges, rs):
+        r, s = rs
+        g = Graph(11, sorted(edges))
+        prep = prepare(g, r, s)
+        if prep.n_r == 0:
+            return
+        eager = hierarchy_te_theoretical(g, r, s, prepared=prep,
+                                         relabel="eager")
+        lazy = hierarchy_te_theoretical(g, r, s, prepared=prep,
+                                        relabel="lazy")
+        assert eager.tree.partition_chain() == lazy.tree.partition_chain()
+
+    def test_unknown_relabel_rejected(self):
+        with pytest.raises(ValueError):
+            hierarchy_te_theoretical(Graph.complete(3), 2, 3,
+                                     relabel="bogus")

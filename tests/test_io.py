@@ -1,0 +1,99 @@
+"""Unit tests for SNAP edge-list IO."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.io import graph_from_string, read_edge_list, write_edge_list
+
+
+class TestRead:
+    def test_basic_parse(self):
+        g = graph_from_string("0 1\n1 2\n")
+        assert g.n == 3 and g.m == 2
+
+    def test_comments_and_blank_lines(self):
+        g = graph_from_string("# SNAP header\n% other comment\n\n0 1\n")
+        assert g.m == 1
+
+    def test_duplicate_and_reverse_edges_merge(self):
+        g = graph_from_string("0 1\n1 0\n0 1\n")
+        assert g.m == 1
+
+    def test_directed_rejection_mode(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0 1\n1 0\n"), directed_ok=False)
+
+    def test_self_loops_skipped(self):
+        g = graph_from_string("0 0\n0 1\n")
+        assert g.m == 1
+
+    def test_sparse_integer_labels_densified_in_order(self):
+        g = graph_from_string("100 7\n7 1000\n")
+        # numeric labels keep numeric order: 7 -> 0, 100 -> 1, 1000 -> 2
+        assert g.n == 3
+        assert g.has_edge(1, 0) and g.has_edge(0, 2)
+
+    def test_non_numeric_labels(self):
+        g = graph_from_string("alice bob\nbob carol\n")
+        assert g.n == 3 and g.m == 2
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_string("0\n")
+
+    def test_extra_columns_tolerated(self):
+        # SNAP sometimes ships weighted lists; extra columns are ignored.
+        g = graph_from_string("0 1 0.5\n")
+        assert g.m == 1
+
+    def test_empty_input(self):
+        g = graph_from_string("")
+        assert g.n == 0 and g.m == 0
+
+
+class TestWrite:
+    def test_round_trip_in_memory(self):
+        g = erdos_renyi(40, 0.15, seed=8)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        back = read_edge_list(io.StringIO(buf.getvalue()))
+        assert back.m == g.m
+        assert set(back.edges()) == set(g.edges())
+
+    def test_round_trip_via_file(self, tmp_path):
+        g = erdos_renyi(30, 0.2, seed=3)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, str(path), header=True)
+        back = read_edge_list(str(path), name="reloaded")
+        assert back.name == "reloaded"
+        assert set(back.edges()) == set(g.edges())
+
+    def test_header_content(self):
+        g = erdos_renyi(10, 0.3, seed=1, name="demo")
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        text = buf.getvalue()
+        assert text.startswith(f"# Nodes: {g.n} Edges: {g.m}")
+        assert "demo" in text
+
+    def test_no_header(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        buf = io.StringIO()
+        write_edge_list(g, buf, header=False)
+        assert not buf.getvalue().startswith("#")
+
+
+class TestGzip:
+    def test_round_trip_gzip(self, tmp_path):
+        from repro.graphs.generators import erdos_renyi
+        g = erdos_renyi(30, 0.2, seed=13)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, str(path))
+        import gzip
+        with gzip.open(str(path), "rt") as handle:
+            assert handle.readline().startswith("#")
+        back = read_edge_list(str(path))
+        assert set(back.edges()) == set(g.edges())

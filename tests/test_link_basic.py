@@ -1,0 +1,69 @@
+"""Unit tests for LINK-BASIC (Algorithm 4)."""
+
+import pytest
+
+from repro.core.link_basic import LinkBasic, integer_levels
+from repro.errors import ParameterError
+
+
+class TestLevels:
+    def test_integer_levels_from_integral_cores(self):
+        assert integer_levels([3.0, 1.0, 0.0]) == [1.0, 2.0, 3.0]
+
+    def test_integer_levels_rejects_floats(self):
+        assert integer_levels([1.5, 2.0]) is None
+
+    def test_float_cores_get_distinct_levels(self):
+        lb = LinkBasic([1.5, 2.5, 0.0])
+        assert lb.levels == [1.5, 2.5]
+
+    def test_nonpositive_level_rejected(self):
+        with pytest.raises(ParameterError):
+            LinkBasic([1.0], levels=[0.0, 1.0])
+
+
+class TestLinking:
+    def test_unites_in_every_level_up_to_min(self):
+        lb = LinkBasic([3.0, 5.0])
+        lb.link(0, 1)
+        # united in levels 1..3, separate in 4..5
+        for lv in (1.0, 2.0, 3.0):
+            assert lb.ufs[lv].same_set(0, 1)
+        for lv in (4.0, 5.0):
+            assert not lb.ufs[lv].same_set(0, 1)
+
+    def test_unite_count_is_min_core_per_pair(self):
+        lb = LinkBasic([3.0, 5.0])
+        lb.link(0, 1)
+        assert lb.unite_calls == 3
+        lb.link(0, 1)
+        assert lb.unite_calls == 6  # redundant repeats, by design
+
+    def test_memory_units_scale_with_k(self):
+        small = LinkBasic([2.0, 2.0])
+        large = LinkBasic([20.0, 20.0])
+        assert large.memory_units() > small.memory_units()
+        assert large.memory_units() == 20 * 2
+
+
+class TestConstructTree:
+    def test_matches_expected_partitions(self):
+        # cores: 0,1 at 2 (connected); 2 at 1 connected below them
+        lb = LinkBasic([2.0, 2.0, 1.0])
+        lb.link(0, 1)
+        lb.link(2, 0)
+        tree = lb.construct_tree()
+        assert tree.nuclei_at(2) == [[0, 1]]
+        assert tree.nuclei_at(1) == [[0, 1, 2]]
+
+    def test_empty_levels_produce_no_nodes(self):
+        lb = LinkBasic([0.0, 0.0])
+        tree = lb.construct_tree()
+        assert tree.n_internal == 0
+
+    def test_stats_shape(self):
+        lb = LinkBasic([1.0, 1.0])
+        lb.link(0, 1)
+        stats = lb.stats()
+        assert {"link_calls", "unite_calls", "effective_unites",
+                "memory_units"} <= set(stats)

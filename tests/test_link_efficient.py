@@ -1,0 +1,229 @@
+"""Unit tests for LINK-EFFICIENT internals (Algorithm 5)."""
+
+import itertools
+
+import pytest
+
+from repro.core.link_efficient import EMPTY, LinkEfficient
+from repro.errors import DataStructureError
+from repro.parallel.atomics import FlakyAtomicCell
+
+
+class TestUnionBehaviour:
+    def test_equal_cores_unite(self):
+        le = LinkEfficient([2.0, 2.0, 1.0])
+        le.link(0, 1)
+        assert le.uf.same_set(0, 1)
+        assert not le.uf.same_set(0, 2)
+
+    def test_different_cores_set_nearest(self):
+        le = LinkEfficient([1.0, 3.0])
+        le.link(0, 1)  # core 1 clique is the nearest core of clique 1
+        root1 = le.uf.find(1)
+        assert le.L[root1].load() == 0
+        assert le.L[le.uf.find(0)].load() == EMPTY
+
+    def test_nearer_core_replaces(self):
+        le = LinkEfficient([1.0, 2.0, 5.0])
+        le.link(0, 2)   # L[2] = 0 (core 1)
+        le.link(1, 2)   # core 2 is nearer: replaces, cascades link(1, 0)...
+        assert le.L[le.uf.find(2)].load() == 1
+        # the displaced clique 0 becomes the nearest core of clique 1
+        assert le.L[le.uf.find(1)].load() == 0
+
+    def test_farther_core_does_not_replace_but_cascades(self):
+        le = LinkEfficient([2.0, 1.0, 5.0])
+        le.link(0, 2)   # L[2] = 0 (core 2)
+        le.link(1, 2)   # core 1 is farther: keep 0, cascade link(1, 0)
+        assert le.L[le.uf.find(2)].load() == 0
+        assert le.L[le.uf.find(0)].load() == 1
+
+    def test_same_core_discovery_through_higher_core(self):
+        """The paper's worked example: 3a and 3b connect only via a 4-core."""
+        # ids: 0 = "3a" (core 3), 1 = "3b" (core 3), 2 = "4c" (core 4)
+        le = LinkEfficient([3.0, 3.0, 4.0])
+        le.link(0, 2)
+        le.link(1, 2)
+        # the cascade must unite 3a and 3b even though they never linked
+        # directly
+        assert le.uf.same_set(0, 1)
+
+    def test_unite_transfers_nearest_core(self):
+        """Uniting equal cores must preserve the best nearest-core entry."""
+        # 0,1 core 3; 2 core 1; 3 core 4 connecting 0 and 1
+        le = LinkEfficient([3.0, 3.0, 1.0, 4.0])
+        le.link(2, 0)       # L[0] = 2
+        le.link(0, 3)
+        le.link(1, 3)       # cascades unite(0, 1)
+        root = le.uf.find(0)
+        assert le.uf.same_set(0, 1)
+        assert le.L[root].load() == 2  # survived the unite
+
+    def test_link_empty_arguments_ignored(self):
+        le = LinkEfficient([1.0, 2.0])
+        le.link(EMPTY, 1)   # line 4: no-op
+        le.link(0, EMPTY)
+        assert le.L[0].load() == EMPTY
+        assert le.L[1].load() == EMPTY
+
+    def test_idempotent_relinks(self):
+        le = LinkEfficient([1.0, 2.0])
+        for _ in range(3):
+            le.link(0, 1)
+        assert le.L[le.uf.find(1)].load() == 0
+
+    def test_stats(self):
+        le = LinkEfficient([1.0, 2.0, 2.0])
+        le.link(0, 1)
+        le.link(1, 2)
+        stats = le.stats()
+        assert stats["link_calls"] == 2
+        assert stats["memory_units"] == 6  # 2 * n_r
+
+
+class TestCASContention:
+    def test_retry_after_l_entry_appears_concurrently(self):
+        """CAS on an empty L entry fails because 'another thread' filled it.
+
+        The retry loop (Algorithm 5, line 12) must re-read and land in the
+        compare-by-core branch instead.
+        """
+        le = LinkEfficient([1.0, 2.0, 5.0])
+        root2 = le.uf.find(2)
+
+        def interference(cell):
+            # competing writer stores the core-2 clique first
+            le.L[root2] = original
+            le.L[root2].store(1)
+
+        original = le.L[root2]
+        le.L[root2] = FlakyAtomicCell(EMPTY, iter([True]),
+                                      interference=interference)
+        le.link(0, 2)  # wants to store 0 (core 1) but 1 (core 2) is nearer
+        assert le.L[le.uf.find(2)].load() == 1
+        # and the displaced/cascaded link recorded 0 as nearest of 1
+        assert le.L[le.uf.find(1)].load() == 0
+
+    def test_retry_after_replacement_race(self):
+        """CAS replacing a worse entry loses a race to an even better one."""
+        le = LinkEfficient([1.0, 2.5, 2.0, 5.0])
+        root3 = le.uf.find(3)
+        le.link(0, 3)  # L[3] = 0 (core 1)
+
+        def interference(cell):
+            le.L[root3] = original
+            le.L[root3].store(1)  # a core-2.5 entry wins the race
+
+        original = le.L[root3]
+        le.L[root3] = FlakyAtomicCell(0, iter([True]),
+                                      interference=interference)
+        le.link(2, 3)  # core 2 would beat core 1, but loses to core 2.5
+        assert le.L[le.uf.find(3)].load() == 1
+
+    def test_cascade_budget_guards_against_cycles(self):
+        le = LinkEfficient([1.0, 2.0])
+        le.MAX_STEPS_FACTOR = 0
+
+        # exhaust the budget instantly
+        with pytest.raises(DataStructureError):
+            le.link(0, 1)
+
+
+class TestConstructTree:
+    def test_single_component_chain(self):
+        # cores: two core-2 cliques connected, one core-1 below
+        le = LinkEfficient([2.0, 2.0, 1.0])
+        le.link(0, 1)
+        le.link(2, 0)
+        tree = le.construct_tree()
+        assert tree.nuclei_at(2) == [[0, 1]]
+        assert tree.nuclei_at(1) == [[0, 1, 2]]
+
+    def test_attachment_of_singleton_component(self):
+        # one core-4 clique attaches to a core-2 clique ("4d -> 2a")
+        le = LinkEfficient([4.0, 2.0])
+        le.link(1, 0)
+        tree = le.construct_tree()
+        assert tree.nuclei_at(4) == [[0]]
+        assert tree.nuclei_at(2) == [[0, 1]]
+
+    def test_forest_when_unlinked(self):
+        le = LinkEfficient([1.0, 1.0])
+        tree = le.construct_tree()
+        assert tree.n_internal == 0
+        assert len(tree.roots()) == 2
+
+
+class _InterferingCell:
+    """An atomic cell whose successful CAS also runs a side effect first,
+
+    modelling a racing thread that acts between this thread's read of
+    ``uf.parent(Q)`` and its CAS on ``L[Q]`` -- the window Algorithm 5's
+    lines 16-17 and 21-22 exist for.
+    """
+
+    def __init__(self, value, interference):
+        self._value = value
+        self._interference = interference
+
+    def load(self):
+        return self._value
+
+    def store(self, value):
+        self._value = value
+
+    def compare_and_swap(self, expected, new):
+        if self._value != expected:
+            return False
+        # the racing thread acts just before our CAS lands
+        self._interference()
+        self._value = new
+        return True
+
+
+class TestRootChangeDuringCAS:
+    def test_line_16_17_root_changed_after_empty_cas(self):
+        """A successful CAS on an empty L[Q] whose component was united
+
+        concurrently: the algorithm must re-link R against Q's new root
+        (lines 16-17), otherwise the new root never learns about R.
+        """
+        le = LinkEfficient([1.0, 3.0, 3.0])  # 0 = core 1; 1, 2 = core 3
+        root1 = le.uf.find(1)
+
+        def racing_unite():
+            # another thread unites the two core-3 components while our
+            # CAS is in flight
+            le.uf.unite(1, 2)
+
+        le.L[root1] = _InterferingCell(EMPTY, racing_unite)
+        le.link(0, 1)
+        # whichever clique now represents the merged core-3 component
+        # must know its nearest core is 0
+        assert le.L[le.uf.find(1)].load() == 0 or \
+            le.L[le.uf.find(2)].load() == 0
+        # and the tree comes out right
+        tree = le.construct_tree()
+        assert tree.nuclei_at(1) == [[0, 1, 2]]
+
+    def test_line_21_22_root_changed_after_replacement_cas(self):
+        """Same race on the replace path (lines 21-22)."""
+        # 0 = core 1, 3 = core 2, 1/2 = core 4 (two components to merge)
+        le = LinkEfficient([1.0, 4.0, 4.0, 2.0])
+        le.link(0, 1)  # L[1] = 0 (core 1)
+        root1 = le.uf.find(1)
+
+        def racing_unite():
+            le.uf.unite(1, 2)
+
+        le.L[root1] = _InterferingCell(0, racing_unite)
+        le.link(3, 1)  # core 2 beats core 1; CAS succeeds amid the race
+        merged_root = le.uf.find(1)
+        assert le.uf.same_set(1, 2)
+        # the merged component's nearest core must be the core-2 clique,
+        # and the displaced core-1 knowledge must survive under it
+        assert le.L[merged_root].load() == 3 or \
+            le.L[le.uf.find(3)].load() == 0
+        tree = le.construct_tree()
+        assert sorted(map(tuple, tree.nuclei_at(1))) == [(0, 1, 2, 3)]
+        assert sorted(map(tuple, tree.nuclei_at(2))) == [(1, 2, 3)]

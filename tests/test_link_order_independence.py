@@ -1,0 +1,134 @@
+"""Order-independence of LINK-EFFICIENT: the thread-safety property.
+
+In the parallel framework, LINK calls from one peeling round arrive in an
+arbitrary interleaving. The paper's claim that ``LINK-EFFICIENT`` is
+thread-safe means the final (uf, L) state must induce the same hierarchy
+regardless of that order. These tests collect the actual link sequence
+from a peeling run and replay it in many permutations, checking that the
+constructed tree is always equivalent.
+
+Only permutations consistent with the peeling rounds are legal (a link
+can only fire once both endpoints are peeled), so shuffling happens
+within rounds -- exactly the freedom real threads have.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.link_basic import LinkBasic
+from repro.core.link_efficient import LinkEfficient
+from repro.core.nucleus import peel_exact, prepare
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph
+
+
+def collect_round_links(incidence):
+    """Peel once, grouping the emitted link calls by peeling round.
+
+    Returns (core, rounds) where rounds is a list of per-round link lists.
+    """
+    rounds = []
+    current = []
+    last_seen = {"n": 0}
+
+    # peel_exact has no round callback; exploit that links of one round
+    # arrive consecutively by instrumenting through bucket rounds: we
+    # re-run peeling manually here with the same engine semantics.
+    from repro.ds.bucketing import BucketQueue
+    n_r = incidence.n_r
+    queue = BucketQueue(incidence.initial_degrees())
+    core = [0.0] * n_r
+    alive = [True] * n_r
+    k_cur = 0
+    while not queue.empty:
+        value, batch = queue.next_bucket()
+        k_cur = max(k_cur, value)
+        for rid in batch:
+            core[rid] = float(k_cur)
+        round_links = []
+        for rid in batch:
+            for members in incidence.s_cliques_containing(rid):
+                others = [x for x in members if x != rid]
+                if all(alive[o] for o in others):
+                    for other in others:
+                        if queue.alive(other):
+                            queue.decrement(other)
+                else:
+                    for other in others:
+                        if not alive[other]:
+                            round_links.append((other, rid))
+            alive[rid] = False
+        if round_links:
+            rounds.append(round_links)
+    return core, rounds
+
+
+def replay(core, rounds, seed, impl_cls=LinkEfficient):
+    impl = impl_cls(list(core), seed=seed % 7)
+    rng = random.Random(seed)
+    for round_links in rounds:
+        shuffled = list(round_links)
+        rng.shuffle(shuffled)
+        for early, late in shuffled:
+            impl.link(early, late)
+    return impl.construct_tree().partition_chain()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = planted_nuclei([6, 5, 4], backbone_p=0.06, bridge=True, seed=9)
+    prep = prepare(g, 2, 3)
+    core, rounds = collect_round_links(prep.incidence)
+    # sanity: the collected core values match the engine
+    assert core == peel_exact(prep.incidence).core
+    reference = replay(core, rounds, seed=0)
+    return core, rounds, reference
+
+
+class TestLinkEfficientOrderIndependence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_shuffled_rounds_same_tree(self, workload, seed):
+        core, rounds, reference = workload
+        assert replay(core, rounds, seed=seed) == reference
+
+    def test_reversed_rounds_within(self, workload):
+        core, rounds, reference = workload
+        impl = LinkEfficient(list(core))
+        for round_links in rounds:
+            for early, late in reversed(round_links):
+                impl.link(early, late)
+        assert impl.construct_tree().partition_chain() == reference
+
+    def test_duplicated_links_are_idempotent(self, workload):
+        core, rounds, reference = workload
+        impl = LinkEfficient(list(core))
+        for round_links in rounds:
+            for early, late in round_links:
+                impl.link(early, late)
+                impl.link(early, late)  # every link delivered twice
+        assert impl.construct_tree().partition_chain() == reference
+
+
+class TestLinkBasicOrderIndependence:
+    def test_shuffles_agree_with_link_efficient(self, workload):
+        core, rounds, reference = workload
+        for seed in (1, 5):
+            chain = replay(core, rounds, seed=seed, impl_cls=LinkBasic)
+            assert chain == reference
+
+
+@settings(deadline=None, max_examples=10)
+@given(pairs=st.sets(st.tuples(st.integers(0, 11), st.integers(0, 11)),
+                     max_size=40),
+       seed=st.integers(0, 1000),
+       rs=st.sampled_from([(1, 2), (2, 3), (2, 4)]))
+def test_random_graph_order_independence(pairs, seed, rs):
+    r, s = rs
+    g = Graph(12, [(u, v) for u, v in pairs if u != v])
+    prep = prepare(g, r, s)
+    if prep.n_r == 0:
+        return
+    core, rounds = collect_round_links(prep.incidence)
+    assert replay(core, rounds, 0) == replay(core, rounds, seed)

@@ -1,0 +1,102 @@
+"""Unit tests for the concatenable linked list (repro.ds.linked_list)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.linked_list import CatList
+from repro.errors import DataStructureError
+from repro.parallel.counters import WorkSpanCounter
+
+
+class TestAppend:
+    def test_empty(self):
+        lst = CatList()
+        assert len(lst) == 0
+        assert lst.to_list() == []
+
+    def test_append_preserves_order(self):
+        lst = CatList.of([3, 1, 4])
+        assert lst.to_list() == [3, 1, 4]
+        lst.append(1)
+        assert lst.to_list() == [3, 1, 4, 1]
+        assert len(lst) == 4
+
+
+class TestConcat:
+    def test_concat_joins_in_order(self):
+        a = CatList.of([1, 2])
+        b = CatList.of([3, 4])
+        a.concat(b)
+        assert a.to_list() == [1, 2, 3, 4]
+        assert len(a) == 4
+
+    def test_concat_empty_cases(self):
+        a = CatList.of([1])
+        b = CatList()
+        a.concat(b)
+        assert a.to_list() == [1]
+        c = CatList()
+        d = CatList.of([2])
+        c.concat(d)
+        assert c.to_list() == [2]
+
+    def test_concat_tombstones_source(self):
+        a, b = CatList.of([1]), CatList.of([2])
+        a.concat(b)
+        assert b.tombstoned
+        with pytest.raises(DataStructureError):
+            b.to_list()
+        with pytest.raises(DataStructureError):
+            b.append(5)
+        with pytest.raises(DataStructureError):
+            len(b)
+
+    def test_double_consumption_rejected(self):
+        """The single-concatenation invariant of Theorem 5.1's proof."""
+        a, b, c = CatList.of([1]), CatList.of([2]), CatList.of([3])
+        a.concat(b)
+        with pytest.raises(DataStructureError):
+            c.concat(b)
+
+    def test_tombstoned_target_rejected(self):
+        a, b, c = CatList.of([1]), CatList.of([2]), CatList.of([3])
+        a.concat(b)
+        with pytest.raises(DataStructureError):
+            b.concat(c)
+
+    def test_self_concat_rejected(self):
+        a = CatList.of([1])
+        with pytest.raises(DataStructureError):
+            a.concat(a)
+
+    def test_append_after_concat(self):
+        a, b = CatList.of([1]), CatList.of([2])
+        a.concat(b)
+        a.append(3)
+        assert a.to_list() == [1, 2, 3]
+
+
+class TestRankingConversion:
+    def test_empty(self):
+        assert CatList().to_array_via_ranking(WorkSpanCounter()) == []
+
+    def test_matches_traversal(self):
+        lst = CatList.of([5, 3, 5, 1])
+        c = WorkSpanCounter()
+        assert lst.to_array_via_ranking(c) == [5, 3, 5, 1]
+        assert c.work > 0
+
+    def test_conversion_does_not_consume(self):
+        lst = CatList.of([1, 2])
+        lst.to_array_via_ranking(WorkSpanCounter())
+        assert lst.to_list() == [1, 2]
+
+    @given(st.lists(st.lists(st.integers(0, 9), max_size=6), max_size=6))
+    def test_concat_chain_matches_flat_list(self, chunks):
+        lists = [CatList.of(chunk) for chunk in chunks]
+        target = CatList()
+        for lst in lists:
+            target.concat(lst)
+        expected = [x for chunk in chunks for x in chunk]
+        assert target.to_list() == expected
+        assert target.to_array_via_ranking(WorkSpanCounter()) == expected

@@ -1,0 +1,114 @@
+"""Unit + property tests for pointer-jumping list ranking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DataStructureError
+from repro.parallel.counters import WorkSpanCounter
+from repro.parallel.list_ranking import (list_rank, lists_to_arrays,
+                                         rank_and_order, validate_successors)
+
+
+def naive_ranks(successor):
+    """Reference: follow each chain to its tail."""
+    out = []
+    for i in range(len(successor)):
+        d, cur = 0, i
+        while successor[cur] != -1:
+            cur = successor[cur]
+            d += 1
+        out.append(d)
+    return out
+
+
+@st.composite
+def disjoint_lists(draw):
+    """Random successor arrays encoding disjoint simple lists."""
+    n = draw(st.integers(0, 40))
+    elements = list(range(n))
+    rng = draw(st.randoms(use_true_random=False))
+    rng.shuffle(elements)
+    successor = [-1] * n
+    i = 0
+    while i < len(elements):
+        length = draw(st.integers(1, 8))
+        chain = elements[i:i + length]
+        for a, b in zip(chain, chain[1:]):
+            successor[a] = b
+        i += length
+    return successor
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        validate_successors([1, 2, -1, -1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DataStructureError):
+            validate_successors([5])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(DataStructureError):
+            validate_successors([0])
+
+    def test_rejects_shared_successor(self):
+        with pytest.raises(DataStructureError):
+            validate_successors([2, 2, -1])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(DataStructureError):
+            validate_successors([1, 0])
+
+
+class TestListRank:
+    def test_empty(self):
+        assert list_rank([], WorkSpanCounter()) == []
+
+    def test_single_chain(self):
+        assert list_rank([1, 2, 3, -1], WorkSpanCounter()) == [3, 2, 1, 0]
+
+    def test_multiple_chains(self):
+        #  0 -> 2 -> 4;  1 -> 3
+        successor = [2, 3, 4, -1, -1]
+        assert list_rank(successor, WorkSpanCounter()) == [2, 1, 1, 0, 0]
+
+    def test_span_is_logarithmic(self):
+        n = 256
+        successor = list(range(1, n)) + [-1]
+        c = WorkSpanCounter()
+        list_rank(successor, c)
+        # pointer jumping: at most ceil(log2 n)+1 rounds of n work
+        assert c.span <= 10
+        assert c.work <= n * 10
+
+    @given(disjoint_lists())
+    def test_matches_naive(self, successor):
+        validate_successors(successor)
+        got = list_rank(successor, WorkSpanCounter())
+        assert got == naive_ranks(successor)
+
+
+class TestListsToArrays:
+    def test_materializes_in_order(self):
+        successor = [1, 4, -1, -1, 3]  # 0 -> 1 -> 4 -> 3; 2 alone
+        arrays = lists_to_arrays([0, 2, -1], successor, WorkSpanCounter())
+        assert arrays == [[0, 1, 4, 3], [2], []]
+
+    @given(disjoint_lists())
+    def test_arrays_partition_elements(self, successor):
+        n = len(successor)
+        heads = sorted(set(range(n)) - {s for s in successor if s != -1})
+        arrays = lists_to_arrays(heads, successor, WorkSpanCounter())
+        flat = [x for arr in arrays for x in arr]
+        assert sorted(flat) == list(range(n))
+        for arr in arrays:
+            for a, b in zip(arr, arr[1:]):
+                assert successor[a] == b  # consecutive in list order
+
+
+class TestRankAndOrder:
+    def test_order_concatenates_lists(self):
+        successor = [1, -1, 3, -1]
+        ranks, order = rank_and_order(successor, WorkSpanCounter())
+        assert ranks == [1, 0, 1, 0]
+        assert order == [0, 1, 2, 3]

@@ -1,0 +1,90 @@
+"""Unit + property tests for the local update baseline (Sariyüce [51])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.local import LocalResult, h_index, local_nucleus
+from repro.core.nucleus import peel_exact, prepare
+from repro.errors import ParameterError
+from repro.graphs.generators import planted_nuclei, powerlaw_cluster
+from repro.graphs.graph import Graph
+from repro.parallel.counters import WorkSpanCounter
+
+
+class TestHIndex:
+    def test_known_values(self):
+        assert h_index([]) == 0
+        assert h_index([0, 0]) == 0
+        assert h_index([1]) == 1
+        assert h_index([5, 4, 3, 2, 1]) == 3
+        assert h_index([10, 10, 10]) == 3
+        assert h_index([1, 1, 1, 1]) == 1
+
+    @given(st.lists(st.integers(0, 50), max_size=60))
+    def test_definition(self, values):
+        h = h_index([float(v) for v in values])
+        assert sum(1 for v in values if v >= h) >= h
+        assert sum(1 for v in values if v >= h + 1) < h + 1
+
+
+class TestConvergence:
+    @settings(deadline=None, max_examples=15)
+    @given(pairs=st.sets(st.tuples(st.integers(0, 12), st.integers(0, 12)),
+                         max_size=45),
+           rs=st.sampled_from([(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)]))
+    def test_fixpoint_is_exact_coreness(self, pairs, rs):
+        r, s = rs
+        g = Graph(13, [(u, v) for u, v in pairs if u != v])
+        prep = prepare(g, r, s)
+        if prep.n_r == 0:
+            return
+        result = local_nucleus(prep.incidence)
+        assert result.converged
+        assert result.core == peel_exact(prep.incidence).core
+
+    def test_estimates_decrease_monotonically_from_degrees(self):
+        g = powerlaw_cluster(80, 4, 0.7, seed=2)
+        prep = prepare(g, 2, 3)
+        degrees = prep.incidence.initial_degrees()
+        result = local_nucleus(prep.incidence)
+        assert all(c <= d for c, d in zip(result.core, degrees))
+
+    def test_rounds_usually_far_below_rho(self):
+        g = planted_nuclei([8, 7, 6, 5], backbone_p=0.05, seed=3)
+        prep = prepare(g, 2, 3)
+        exact = peel_exact(prep.incidence)
+        result = local_nucleus(prep.incidence)
+        assert result.rounds < exact.rho
+
+    def test_max_rounds_cap(self):
+        g = planted_nuclei([6, 5], bridge=True)
+        prep = prepare(g, 2, 3)
+        capped = local_nucleus(prep.incidence, max_rounds=1)
+        full = local_nucleus(prep.incidence)
+        # a single round is an upper bound refinement, not the fixpoint
+        assert all(a >= b for a, b in zip(capped.core, full.core))
+
+    def test_invalid_max_rounds(self):
+        prep = prepare(Graph.complete(4), 2, 3)
+        with pytest.raises(ParameterError):
+            local_nucleus(prep.incidence, max_rounds=-1)
+
+    def test_zero_rounds_reports_not_converged(self):
+        prep = prepare(Graph.complete(4), 2, 3)
+        result = local_nucleus(prep.incidence, max_rounds=0)
+        assert not result.converged or prep.n_r == 0
+
+    def test_empty_graph(self):
+        prep = prepare(Graph.empty(3), 1, 2)
+        result = local_nucleus(prep.incidence)
+        assert result.converged
+        assert result.core == [0.0, 0.0, 0.0]
+
+    def test_counter_charged_per_round(self):
+        g = powerlaw_cluster(60, 3, 0.6, seed=5)
+        prep = prepare(g, 2, 3)
+        c = WorkSpanCounter()
+        result = local_nucleus(prep.incidence, counter=c)
+        assert c.work > 0
+        # span is per-round, far below the peeling span for deep graphs
+        assert c.span <= (result.rounds + 1) * 20

@@ -1,0 +1,186 @@
+"""Unit + property tests for exact nucleus peeling (ARB-NUCLEUS)."""
+
+from math import comb
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import RS_PAIRS
+from repro.baselines.kcore import core_numbers
+from repro.baselines.ktruss import truss_core_numbers
+from repro.baselines.naive_hierarchy import sequential_coreness
+from repro.core.nucleus import arb_nucleus, peel_exact, prepare
+from repro.errors import ParameterError
+from repro.graphs.generators import (erdos_renyi, planted_nuclei,
+                                     random_bipartite_like)
+from repro.graphs.graph import Graph
+from repro.parallel.counters import WorkSpanCounter
+
+
+class TestKnownAnswers:
+    def test_complete_graph_truss(self):
+        # Every edge of K_n is in n-2 triangles and the graph is one
+        # nucleus: all (2,3) core numbers equal n-2.
+        res = arb_nucleus(Graph.complete(6), 2, 3)
+        assert res.core == [4.0] * 15
+        assert res.k_max == 4
+        assert res.rho == 1
+
+    def test_planted_cliques_have_closed_form_cores(self, planted):
+        # Blocks K6, K5, K4 with bridges: (2,3) cores are 4, 3, 2; the
+        # bridge edges are in no triangle (core 0).
+        prep = prepare(planted, 2, 3)
+        res = peel_exact(prep.incidence)
+        by_clique = {prep.index.clique_of(i): res.core[i]
+                     for i in range(prep.n_r)}
+        for a in range(6):
+            for b in range(a + 1, 6):
+                assert by_clique[(a, b)] == 4
+        for a in range(6, 11):
+            for b in range(a + 1, 11):
+                assert by_clique[(a, b)] == 3
+        assert by_clique[(0, 6)] == 0  # bridge
+
+    def test_triangle_free_graph_is_all_zero(self):
+        g = random_bipartite_like(8, 8, 0.4, seed=1)
+        res = arb_nucleus(g, 2, 3)
+        assert all(c == 0 for c in res.core)
+        assert res.n_s == 0
+
+    def test_empty_graph(self):
+        res = arb_nucleus(Graph.empty(5), 1, 2)
+        assert res.core == [0.0] * 5
+        assert res.k_max == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            arb_nucleus(Graph.empty(2), 2, 2)
+        with pytest.raises(ParameterError):
+            arb_nucleus(Graph.empty(2), 0, 2)
+
+
+class TestOracleAgreement:
+    def test_12_matches_classic_kcore(self):
+        g = erdos_renyi(60, 0.15, seed=3)
+        prep = prepare(g, 1, 2)
+        res = peel_exact(prep.incidence)
+        classic = core_numbers(g)
+        for rid in range(prep.n_r):
+            (v,) = prep.index.clique_of(rid)
+            assert res.core[rid] == classic[v]
+
+    def test_12_matches_networkx(self):
+        import networkx as nx
+        g = erdos_renyi(60, 0.15, seed=5)
+        prep = prepare(g, 1, 2)
+        res = peel_exact(prep.incidence)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(range(g.n))
+        expected = nx.core_number(nxg)
+        for rid in range(prep.n_r):
+            (v,) = prep.index.clique_of(rid)
+            assert res.core[rid] == expected[v]
+
+    def test_23_matches_classic_ktruss(self):
+        g = erdos_renyi(30, 0.3, seed=7)
+        prep = prepare(g, 2, 3)
+        res = peel_exact(prep.incidence)
+        classic = truss_core_numbers(g)
+        for rid in range(prep.n_r):
+            edge = prep.index.clique_of(rid)
+            assert res.core[rid] == classic[edge]
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.sets(st.tuples(st.integers(0, 13), st.integers(0, 13)),
+                   max_size=50),
+           st.sampled_from(RS_PAIRS))
+    def test_batch_peeling_equals_one_at_a_time(self, pairs, rs):
+        """The parallel batch peel must equal the textbook sequential peel."""
+        r, s = rs
+        g = Graph(14, [(u, v) for u, v in pairs if u != v])
+        prep = prepare(g, r, s)
+        if prep.n_r == 0:
+            return
+        assert peel_exact(prep.incidence).core == \
+            sequential_coreness(prep.incidence)
+
+    def test_strategies_produce_identical_cores(self):
+        g = erdos_renyi(25, 0.35, seed=8)
+        for r, s in [(1, 2), (2, 3), (2, 4), (3, 4)]:
+            a = arb_nucleus(g, r, s, strategy="materialized")
+            b = arb_nucleus(g, r, s, strategy="reenum")
+            assert a.core == b.core
+
+
+class TestStructuralProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(st.sets(st.tuples(st.integers(0, 12), st.integers(0, 12)),
+                   max_size=45),
+           st.sampled_from([(1, 2), (2, 3), (2, 4)]))
+    def test_core_bounded_by_degree_and_counts(self, pairs, rs):
+        r, s = rs
+        g = Graph(13, [(u, v) for u, v in pairs if u != v])
+        prep = prepare(g, r, s)
+        if prep.n_r == 0:
+            return
+        degrees = prep.incidence.initial_degrees()
+        res = peel_exact(prep.incidence)
+        for rid in range(prep.n_r):
+            assert 0 <= res.core[rid] <= degrees[rid]
+        assert res.k_max <= max(degrees, default=0)
+        # rho: at least one round per distinct positive core value
+        assert res.rho >= len({c for c in res.core})
+
+    def test_rho_and_k_relationship(self):
+        g = planted_nuclei([5, 5, 5], backbone_p=0.1, seed=2)
+        res = arb_nucleus(g, 2, 3)
+        assert res.k_max <= res.rho <= res.n_r
+
+    def test_core_out_filled_in_place(self):
+        g = Graph.complete(4)
+        prep = prepare(g, 2, 3)
+        sink = [99.0] * prep.n_r
+        res = peel_exact(prep.incidence, core_out=sink)
+        assert sink == res.core
+        assert res.core is sink
+
+    def test_core_out_wrong_length_rejected(self):
+        prep = prepare(Graph.complete(4), 2, 3)
+        with pytest.raises(ParameterError):
+            peel_exact(prep.incidence, core_out=[0.0])
+
+    def test_work_span_metered(self):
+        c = WorkSpanCounter()
+        arb_nucleus(erdos_renyi(30, 0.3, seed=1), 2, 3, counter=c)
+        assert c.work > 0 and c.span > 0
+
+    def test_link_called_only_with_final_cores(self):
+        """The Algorithm 3 call discipline: both cores final at link time."""
+        g = erdos_renyi(20, 0.4, seed=9)
+        prep = prepare(g, 2, 3)
+        reference = peel_exact(prep.incidence).core
+        live = [0.0] * prep.n_r
+        seen = []
+
+        def link(early, late):
+            # Both entries must already hold their final values.
+            assert live[early] == reference[early]
+            assert live[late] == reference[late]
+            assert live[early] <= live[late]
+            seen.append((early, late))
+
+        peel_exact(prep.incidence, link=link, core_out=live)
+        assert seen  # links actually happened
+
+    def test_every_adjacent_pair_linked_at_least_once(self):
+        g = erdos_renyi(15, 0.5, seed=10)
+        prep = prepare(g, 2, 3)
+        expected_pairs = set()
+        for members in prep.incidence.iter_s_cliques():
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    expected_pairs.add((min(a, b), max(a, b)))
+        linked = set()
+        peel_exact(prep.incidence,
+                   link=lambda a, b: linked.add((min(a, b), max(a, b))))
+        assert linked == expected_pairs

@@ -1,0 +1,126 @@
+"""Unit + property tests for low out-degree orientations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph
+from repro.graphs.orientation import (Orientation, arb_orient,
+                                      arboricity_upper_bound,
+                                      degeneracy_order,
+                                      parallel_orientation_order)
+from repro.parallel.counters import WorkSpanCounter
+
+
+def small_graphs():
+    return st.sets(st.tuples(st.integers(0, 11), st.integers(0, 11)),
+                   max_size=40).map(
+        lambda pairs: Graph(12, [(u, v) for u, v in pairs if u != v]))
+
+
+class TestDegeneracyOrder:
+    def test_path(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        order, degeneracy = degeneracy_order(g)
+        assert degeneracy == 1
+        assert sorted(order) == [0, 1, 2]
+
+    def test_clique_degeneracy(self):
+        _, degeneracy = degeneracy_order(Graph.complete(6))
+        assert degeneracy == 5
+
+    def test_empty_graph(self):
+        order, degeneracy = degeneracy_order(Graph.empty(4))
+        assert degeneracy == 0
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        g = erdos_renyi(60, 0.15, seed=9)
+        _, degeneracy = degeneracy_order(g)
+        nxg = nx.Graph(list(g.edges()))
+        nxg.add_nodes_from(range(g.n))
+        assert degeneracy == max(nx.core_number(nxg).values())
+
+    @given(small_graphs())
+    def test_order_is_permutation_with_valid_degeneracy(self, g):
+        order, degeneracy = degeneracy_order(g)
+        assert sorted(order) == list(range(g.n))
+        # definition: when removed, each vertex has at most `degeneracy`
+        # later neighbors
+        position = {v: i for i, v in enumerate(order)}
+        for v in range(g.n):
+            later = sum(1 for u in g.neighbors(v) if position[u] > position[v])
+            assert later <= degeneracy
+
+
+class TestParallelOrientationOrder:
+    def test_covers_all_vertices(self):
+        g = erdos_renyi(50, 0.2, seed=4)
+        order, rounds = parallel_orientation_order(g)
+        assert sorted(order) == list(range(g.n))
+        assert rounds >= 1
+
+    def test_logarithmic_rounds(self):
+        g = erdos_renyi(300, 0.05, seed=2)
+        _, rounds = parallel_orientation_order(g)
+        assert rounds <= 30  # O(log n) with a generous constant
+
+    def test_bounded_out_degree(self):
+        g = planted_nuclei([8, 8, 8], backbone_p=0.05, seed=1)
+        orientation = Orientation(g, parallel_orientation_order(g)[0])
+        _, degeneracy = degeneracy_order(g)
+        # (2 + eps) * 2 * alpha bound, alpha <= degeneracy
+        assert orientation.max_out_degree <= (2.5) * 2 * max(degeneracy, 1)
+
+    def test_invalid_eps(self):
+        with pytest.raises(GraphFormatError):
+            parallel_orientation_order(Graph.empty(1), eps=0)
+
+
+class TestOrientation:
+    def test_out_neighbors_follow_rank(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        o = Orientation(g, [2, 0, 1])  # rank: 2 -> 0, 0 -> 1, 1 -> 2
+        assert o.out_neighbors(2) == (0, 1)
+        assert o.out_neighbors(0) == (1,)
+        assert o.out_neighbors(1) == ()
+
+    def test_each_edge_directed_once(self):
+        g = erdos_renyi(30, 0.3, seed=1)
+        o = arb_orient(g)
+        directed = sum(o.out_degree(v) for v in range(g.n))
+        assert directed == g.m
+
+    def test_rejects_non_permutation(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphFormatError):
+            Orientation(g, [0, 0, 2])
+
+    def test_out_degree_bounded_by_degeneracy(self):
+        g = erdos_renyi(40, 0.25, seed=3)
+        o = arb_orient(g, method="degeneracy")
+        _, degeneracy = degeneracy_order(g)
+        assert o.max_out_degree <= degeneracy
+
+
+class TestArbOrient:
+    def test_methods_produce_valid_orientations(self):
+        g = erdos_renyi(30, 0.2, seed=5)
+        for method in ("degeneracy", "parallel"):
+            o = arb_orient(g, method=method)
+            assert sum(o.out_degree(v) for v in range(g.n)) == g.m
+
+    def test_counter_charged(self):
+        c = WorkSpanCounter()
+        arb_orient(erdos_renyi(30, 0.2, seed=5), counter=c)
+        assert c.work > 0 and c.span > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(GraphFormatError):
+            arb_orient(Graph.empty(1), method="bogus")
+
+    def test_arboricity_upper_bound_positive(self):
+        assert arboricity_upper_bound(Graph.complete(5)) == 4
+        assert arboricity_upper_bound(Graph.empty(3)) == 1

@@ -1,0 +1,161 @@
+"""The paper's worked example (Figures 1, 3, 4, 5), executable.
+
+Section 7.3 traces LINK-EFFICIENT through the (1,3)-nucleus hierarchy of
+Figure 1: vertices ``1a`` (core 1), ``2a`` (core 2), ``3a,3b,3c``
+(core 3), and ``4a..4d`` (core 4); the hierarchy nests
+``4a,4b,4c -> {3a,3b,3c,...} -> {2a, 4d, ...} -> {1a, ...}``.
+
+These tests drive :class:`LinkEfficient` with exactly the link calls the
+example narrates and assert the *semantic* state the paper's Figure 4
+tables show after each step (representatives are seed-dependent, so the
+checks are component-level: who is united with whom, and which component
+each nearest-core entry resolves to). The final tree must match
+Figures 3/5's partition structure.
+"""
+
+import pytest
+
+from repro.core.link_efficient import EMPTY, LinkEfficient
+
+# id layout mirroring the paper's labels
+ONE_A = 0
+TWO_A = 1
+THREE_A, THREE_B, THREE_C = 2, 3, 4
+FOUR_A, FOUR_B, FOUR_C, FOUR_D = 5, 6, 7, 8
+
+CORES = [1.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 4.0, 4.0]
+
+LABELS = {ONE_A: "1a", TWO_A: "2a", THREE_A: "3a", THREE_B: "3b",
+          THREE_C: "3c", FOUR_A: "4a", FOUR_B: "4b", FOUR_C: "4c",
+          FOUR_D: "4d"}
+
+
+def nearest_of(le: LinkEfficient, rid: int):
+    """The nearest-core entry of rid's component (EMPTY or an id)."""
+    return le.L[le.uf.find(rid)].load()
+
+
+@pytest.fixture()
+def after_round_3() -> LinkEfficient:
+    """Figure 4's first table: everything singleton, L = {3a: 1a}."""
+    le = LinkEfficient(list(CORES), seed=1)
+    le.link(ONE_A, THREE_A)
+    return le
+
+
+class TestFigure4Trace:
+    def test_initial_state(self, after_round_3):
+        le = after_round_3
+        assert nearest_of(le, THREE_A) == ONE_A
+        for rid in (TWO_A, THREE_B, THREE_C, FOUR_A, FOUR_B, FOUR_C,
+                    FOUR_D):
+            assert le.uf.find(rid) == rid
+            assert nearest_of(le, rid) == EMPTY
+
+    def test_after_3a_4c(self, after_round_3):
+        """(R=3a, Q=4c): 4c had no nearest core; now it is 3a (line 15)."""
+        le = after_round_3
+        le.link(THREE_A, FOUR_C)
+        assert nearest_of(le, FOUR_C) == THREE_A
+        assert not le.uf.same_set(THREE_A, THREE_B)
+
+    def test_after_3b_4c_cascade(self, after_round_3):
+        """(R=3b, Q=4c): L[4c] already holds a core-3 entry, so the new
+
+        knowledge is that 3a and 3b are connected -- the cascading call
+        (line 26) must unite them, and the unite transfers 3a's nearest
+        core (1a) to the merged component (lines 9-10 / Figure 4's
+        'After (3b, 4c)' table, where L gains 3b -> 1a).
+        """
+        le = after_round_3
+        le.link(THREE_A, FOUR_C)
+        le.link(THREE_B, FOUR_C)
+        assert le.uf.same_set(THREE_A, THREE_B)
+        assert nearest_of(le, THREE_A) == ONE_A
+        # 4c's entry still resolves to the 3-component
+        assert le.uf.find(nearest_of(le, FOUR_C)) == le.uf.find(THREE_A)
+
+    def test_after_2a_4c_full_cascade(self, after_round_3):
+        """(R=2a, Q=4c): 2a is 'nearer' to the 3-component than 1a, so
+
+        L[3-component] becomes 2a (line 20), and the displaced knowledge
+        '2a connects to 1a' cascades into L[2a] = 1a (line 23 then 15) --
+        Figure 4's 'After (2a, 4c)' table.
+        """
+        le = after_round_3
+        le.link(THREE_A, FOUR_C)
+        le.link(THREE_B, FOUR_C)
+        le.link(TWO_A, FOUR_C)
+        assert nearest_of(le, THREE_A) == TWO_A
+        assert nearest_of(le, TWO_A) == ONE_A
+
+    def test_final_round_4_state(self, after_round_3):
+        """Figure 4's 'After Round 4' table, semantically."""
+        le = after_round_3
+        for early, late in [(THREE_A, FOUR_C), (THREE_B, FOUR_C),
+                            (TWO_A, FOUR_C), (THREE_A, FOUR_A),
+                            (THREE_B, FOUR_B), (THREE_C, FOUR_B),
+                            (TWO_A, FOUR_D)]:
+            le.link(early, late)
+        # uf: 3a, 3b, 3c one component; everything else singleton
+        assert le.uf.same_set(THREE_A, THREE_B)
+        assert le.uf.same_set(THREE_A, THREE_C)
+        for rid in (FOUR_A, FOUR_B, FOUR_C, FOUR_D, TWO_A, ONE_A):
+            assert le.uf.find(rid) == rid
+        # L: 2a -> 1a; 3-component -> 2a; 4a/4b/4c -> the 3-component;
+        #    4d -> 2a (Figure 4, bottom table)
+        assert nearest_of(le, TWO_A) == ONE_A
+        assert nearest_of(le, THREE_A) == TWO_A
+        three_root = le.uf.find(THREE_A)
+        for rid in (FOUR_A, FOUR_B, FOUR_C):
+            assert le.uf.find(nearest_of(le, rid)) == three_root, LABELS[rid]
+        assert nearest_of(le, FOUR_D) == TWO_A
+
+
+class TestFigure5Tree:
+    @pytest.fixture()
+    def tree(self, after_round_3):
+        le = after_round_3
+        for early, late in [(THREE_A, FOUR_C), (THREE_B, FOUR_C),
+                            (TWO_A, FOUR_C), (THREE_A, FOUR_A),
+                            (THREE_B, FOUR_B), (THREE_C, FOUR_B),
+                            (TWO_A, FOUR_D)]:
+            le.link(early, late)
+        return le.construct_tree()
+
+    def test_matches_figure_3_partitions(self, tree):
+        """The nuclei of Figures 3/5, at every level."""
+        def chains(level):
+            return sorted(sorted(LABELS[x] for x in nucleus)
+                          for nucleus in tree.nuclei_at(level))
+
+        assert chains(4) == [["4a"], ["4b"], ["4c"], ["4d"]]
+        assert chains(3) == [["3a", "3b", "3c", "4a", "4b", "4c"], ["4d"]]
+        assert chains(2) == [["2a", "3a", "3b", "3c",
+                              "4a", "4b", "4c", "4d"]]
+        assert chains(1) == [["1a", "2a", "3a", "3b", "3c",
+                              "4a", "4b", "4c", "4d"]]
+
+    def test_nesting_matches_figure_5(self, tree):
+        """4d joins at the 2-core, not the 3-core (the paper's subtlety)."""
+        def nucleus_of(rid, level):
+            found = tree.nucleus_of(rid, level)
+            return set(found) if found is not None else None
+
+        assert FOUR_D not in nucleus_of(THREE_A, 3)
+        assert FOUR_D in nucleus_of(THREE_A, 2)
+        assert ONE_A not in nucleus_of(THREE_A, 2)
+        assert ONE_A in nucleus_of(THREE_A, 1)
+
+    def test_seed_independence_of_the_example(self, after_round_3):
+        chains = set()
+        for seed in (0, 1, 5, 11):
+            le = LinkEfficient(list(CORES), seed=seed)
+            for early, late in [(ONE_A, THREE_A), (THREE_A, FOUR_C),
+                                (THREE_B, FOUR_C), (TWO_A, FOUR_C),
+                                (THREE_A, FOUR_A), (THREE_B, FOUR_B),
+                                (THREE_C, FOUR_B), (TWO_A, FOUR_D)]:
+                le.link(early, late)
+            tree = le.construct_tree()
+            chains.add(frozenset(tree.partition_chain().items()))
+        assert len(chains) == 1

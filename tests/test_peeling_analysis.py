@@ -1,0 +1,80 @@
+"""Unit tests for the peeling-complexity analytics (analysis.peeling)."""
+
+import pytest
+
+from repro.analysis.peeling import (PeelingProfile, profile_approx_peeling,
+                                    profile_exact_peeling, round_histogram)
+from repro.core.nucleus import peel_exact, prepare
+from repro.errors import ParameterError
+from repro.graphs.generators import planted_nuclei, powerlaw_cluster
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def prep():
+    return prepare(powerlaw_cluster(150, 4, 0.7, seed=8), 2, 3)
+
+
+class TestExactProfile:
+    def test_matches_peel_exact(self, prep):
+        profile = profile_exact_peeling(prep.incidence)
+        result = peel_exact(prep.incidence)
+        assert profile.rounds == result.rho
+        assert profile.k_max == result.k_max
+        assert profile.n_peeled == prep.n_r
+
+    def test_round_values_monotone(self, prep):
+        profile = profile_exact_peeling(prep.incidence)
+        assert list(profile.round_values) == sorted(profile.round_values)
+
+    def test_complete_graph_single_round(self):
+        prep = prepare(Graph.complete(6), 2, 3)
+        profile = profile_exact_peeling(prep.incidence)
+        assert profile.rounds == 1
+        assert profile.batch_sizes == (15,)
+        assert profile.sequentiality == pytest.approx(1 / 15)
+
+    def test_derived_metrics(self):
+        profile = PeelingProfile(rounds=2, k_max=3.0,
+                                 batch_sizes=(4, 6), round_values=(1.0, 3.0))
+        assert profile.n_peeled == 10
+        assert profile.mean_batch == 5.0
+        assert profile.max_batch == 6
+        assert profile.sequentiality == 0.2
+
+    def test_empty_profile(self):
+        profile = PeelingProfile(rounds=0, k_max=0.0, batch_sizes=(),
+                                 round_values=())
+        assert profile.mean_batch == 0.0
+        assert profile.sequentiality == 0.0
+
+
+class TestApproxProfile:
+    def test_fewer_rounds_bigger_batches(self, prep):
+        exact = profile_exact_peeling(prep.incidence)
+        approx = profile_approx_peeling(prep.incidence, 0.5)
+        assert approx.rounds <= exact.rounds
+        assert approx.n_peeled == exact.n_peeled
+        assert approx.mean_batch >= exact.mean_batch
+
+    def test_deep_graph_round_collapse(self):
+        prep = prepare(planted_nuclei([9, 8, 7, 6], backbone_p=0.05, seed=2),
+                       2, 3)
+        exact = profile_exact_peeling(prep.incidence)
+        approx = profile_approx_peeling(prep.incidence, 1.0)
+        assert approx.rounds < exact.rounds
+
+    def test_invalid_delta(self, prep):
+        with pytest.raises(ParameterError):
+            profile_approx_peeling(prep.incidence, 0)
+
+
+class TestHistogram:
+    def test_covers_all_rounds(self, prep):
+        profile = profile_exact_peeling(prep.incidence)
+        hist = round_histogram(profile)
+        assert sum(count for _, count in hist) == profile.rounds
+
+    def test_empty(self):
+        profile = PeelingProfile(0, 0.0, (), ())
+        assert round_histogram(profile) == []

@@ -1,0 +1,100 @@
+"""Unit tests for instrumented parallel primitives (repro.parallel.primitives)."""
+
+from hypothesis import given, strategies as st
+
+from repro.parallel.counters import WorkSpanCounter, log2_ceil
+from repro.parallel.primitives import (par_count, par_filter, par_flatten,
+                                       par_hash_build, par_map, par_max,
+                                       par_reduce, par_scan, par_semisort,
+                                       par_sort)
+
+
+def fresh():
+    return WorkSpanCounter()
+
+
+class TestSemantics:
+    def test_par_map(self):
+        c = fresh()
+        assert par_map([1, 2, 3], lambda x: x * 2, c) == [2, 4, 6]
+        assert c.work == 3
+
+    def test_par_filter(self):
+        c = fresh()
+        assert par_filter(range(10), lambda x: x % 2 == 0, c) == [0, 2, 4, 6, 8]
+
+    def test_par_reduce(self):
+        c = fresh()
+        assert par_reduce([1, 2, 3, 4], lambda a, b: a + b, c, 0) == 10
+
+    def test_par_reduce_empty(self):
+        assert par_reduce([], lambda a, b: a + b, fresh(), 99) == 99
+
+    def test_par_scan_exclusive(self):
+        prefixes, total = par_scan([3, 1, 4], fresh())
+        assert prefixes == [0, 3, 4]
+        assert total == 8
+
+    def test_par_scan_empty(self):
+        prefixes, total = par_scan([], fresh())
+        assert prefixes == [] and total == 0
+
+    def test_par_count(self):
+        assert par_count(range(10), lambda x: x > 6, fresh()) == 3
+
+    def test_par_sort_with_key_and_reverse(self):
+        out = par_sort([3, 1, 2], fresh(), key=lambda x: -x)
+        assert out == [3, 2, 1]
+        out = par_sort(["bb", "a"], fresh(), key=len, reverse=True)
+        assert out == ["bb", "a"]
+
+    def test_par_semisort_groups(self):
+        groups = par_semisort([("a", 1), ("b", 2), ("a", 3)], fresh())
+        assert groups == {"a": [1, 3], "b": [2]}
+
+    def test_par_hash_build_last_wins(self):
+        table = par_hash_build([("k", 1), ("k", 2)], fresh())
+        assert table == {"k": 2}
+
+    def test_par_flatten(self):
+        assert par_flatten([[1, 2], [], [3]], fresh()) == [1, 2, 3]
+
+    def test_par_max(self):
+        assert par_max([4, 9, 2], fresh()) == 9
+        assert par_max([], fresh(), default=-1) == -1
+
+
+class TestAccounting:
+    def test_map_span_is_logarithmic(self):
+        c = fresh()
+        par_map(list(range(1024)), lambda x: x, c)
+        assert c.work == 1024
+        assert c.span == 1 + log2_ceil(1024)
+
+    def test_sort_work_superlinear(self):
+        c_small, c_big = fresh(), fresh()
+        par_sort(list(range(16)), c_small)
+        par_sort(list(range(1024)), c_big)
+        assert c_big.work / 1024 > c_small.work / 16  # n log n growth
+
+    def test_reduce_span_smaller_than_serial(self):
+        c = fresh()
+        par_reduce(list(range(1000)), lambda a, b: a + b, c, 0)
+        assert c.span < 1000  # tree, not chain
+
+    @given(st.lists(st.integers(0, 100), max_size=200))
+    def test_scan_matches_cumulative_sum(self, xs):
+        prefixes, total = par_scan(xs, fresh())
+        run = 0
+        for x, p in zip(xs, prefixes):
+            assert p == run
+            run += x
+        assert total == sum(xs)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers()), max_size=100))
+    def test_semisort_partitions_all_values(self, pairs):
+        groups = par_semisort(pairs, fresh())
+        flattened = sorted(v for vs in groups.values() for v in vs)
+        assert flattened == sorted(v for _, v in pairs)
+        for k, vs in groups.items():
+            assert vs == [v for kk, v in pairs if kk == k]  # order preserved

@@ -1,0 +1,148 @@
+"""Unit tests for the hierarchy query layer (repro.core.queries)."""
+
+import pytest
+
+from repro import nucleus_decomposition
+from repro.core.queries import (Community, HierarchyQueryIndex,
+                                hierarchy_statistics)
+from repro.errors import ParameterError
+from repro.graphs.generators import planted_nuclei
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def planted_index():
+    # K6 (0-5), K5 (6-10), K4 (11-14), chained by bridges.
+    graph = planted_nuclei([6, 5, 4], bridge=True)
+    decomposition = nucleus_decomposition(graph, 2, 3)
+    return HierarchyQueryIndex(decomposition)
+
+
+class TestConstruction:
+    def test_requires_hierarchy(self):
+        g = Graph.complete(4)
+        coreness_only = nucleus_decomposition(g, 2, 3, hierarchy=False)
+        with pytest.raises(ParameterError):
+            HierarchyQueryIndex(coreness_only)
+
+
+class TestCommunitySearch:
+    def test_pair_in_one_block(self, planted_index):
+        community = planted_index.community([0, 5])
+        assert community is not None
+        assert community.vertices == (0, 1, 2, 3, 4, 5)
+        assert community.level == 4  # the K6 nucleus
+        assert community.density == pytest.approx(1.0)
+
+    def test_cross_block_query_climbs(self, planted_index):
+        # Vertices from the K6 and the K5 only share the level-1 nucleus
+        # containing both blocks... if the blocks are triangle-connected.
+        community = planted_index.community([0, 6], min_level=1)
+        # bridges are single edges (no shared triangles), so no common
+        # nucleus exists at level >= 1
+        assert community is None
+
+    def test_min_level_filters(self, planted_index):
+        assert planted_index.community([11, 14], min_level=2) is not None
+        assert planted_index.community([11, 14], min_level=3) is None
+
+    def test_single_vertex_query(self, planted_index):
+        community = planted_index.community([7])
+        assert community is not None
+        assert 7 in community.vertices
+
+    def test_validation(self, planted_index):
+        with pytest.raises(ParameterError):
+            planted_index.community([])
+        with pytest.raises(ParameterError):
+            planted_index.community([999])
+
+    def test_smallest_covering_nucleus_preferred(self):
+        # Nested structure: K5 inside a looser shell; querying two K5
+        # members must return the K5, not the shell.
+        g = planted_nuclei([5], bridge=False, backbone_p=0.0)
+        edges = list(g.edges()) + [(0, 5), (1, 5), (5, 6), (0, 6)]
+        graph = Graph(7, edges)
+        index = HierarchyQueryIndex(nucleus_decomposition(graph, 2, 3))
+        community = index.community([0, 1])
+        assert community.vertices == (0, 1, 2, 3, 4)
+
+
+class TestVertexQueries:
+    def test_strongest_community(self, planted_index):
+        strongest = planted_index.strongest_community(0)
+        assert strongest.level == 4
+        assert strongest.vertices == (0, 1, 2, 3, 4, 5)
+        strongest = planted_index.strongest_community(12)
+        assert strongest.level == 2
+
+    def test_strongest_for_isolated_vertex(self):
+        g = Graph(5, [(0, 1), (1, 2), (0, 2), (3, 4)])
+        index = HierarchyQueryIndex(nucleus_decomposition(g, 2, 3))
+        assert index.strongest_community(3) is None
+
+    def test_membership_chain_is_descending(self, planted_index):
+        chain = planted_index.membership(0)
+        assert chain
+        levels = [c.level for c in chain]
+        assert levels == sorted(levels, reverse=True)
+        for community in chain:
+            assert 0 in community.vertices
+
+    def test_membership_of_unknown_vertex(self):
+        g = Graph(3, [(0, 1)])
+        index = HierarchyQueryIndex(nucleus_decomposition(g, 2, 3))
+        assert index.membership(2) == []
+
+    def test_vertex_in_multiple_subtrees(self):
+        # Vertex 2 sits in two triangles that are NOT triangle-connected:
+        # two distinct level-1 nuclei both contain it.
+        g = Graph(5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+        index = HierarchyQueryIndex(nucleus_decomposition(g, 2, 3))
+        chain = index.membership(2)
+        assert len(chain) == 2
+        assert all(2 in c.vertices for c in chain)
+        # and community search spanning both triangles finds nothing
+        assert index.community([0, 3]) is None
+
+
+class TestRankings:
+    def test_top_k_densest(self, planted_index):
+        top = planted_index.top_k_densest(2, min_vertices=4)
+        assert len(top) == 2
+        assert top[0].density >= top[1].density
+        assert top[0].vertices == (0, 1, 2, 3, 4, 5)  # K6 densest+deepest
+
+    def test_top_k_deepest(self, planted_index):
+        top = planted_index.top_k_deepest(3)
+        levels = [c.level for c in top]
+        assert levels == sorted(levels, reverse=True)
+        assert levels[0] == 4
+
+    def test_k_validation(self, planted_index):
+        with pytest.raises(ParameterError):
+            planted_index.top_k_densest(0)
+        with pytest.raises(ParameterError):
+            planted_index.top_k_deepest(-1)
+
+    def test_min_vertices_filter(self, planted_index):
+        top = planted_index.top_k_densest(10, min_vertices=6)
+        assert all(len(c) >= 6 for c in top)
+
+
+class TestStatistics:
+    def test_planted_statistics(self, planted_index):
+        stats = hierarchy_statistics(planted_index.tree)
+        assert stats.n_leaves == planted_index.decomposition.n_r
+        assert stats.n_nuclei == 3  # K6, K5, K4 nuclei
+        assert stats.max_level == 4
+        assert stats.largest_nucleus == 15  # K6's edges
+        assert stats.mean_branching > 1
+
+    def test_empty_tree_statistics(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        d = nucleus_decomposition(g, 2, 3)
+        stats = hierarchy_statistics(d.tree)
+        assert stats.n_nuclei == 0
+        assert stats.max_level == 0
+        assert stats.mean_branching == 0.0

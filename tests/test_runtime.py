@@ -1,0 +1,110 @@
+"""Unit tests for the Brent's-bound runtime model (repro.parallel.runtime)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parallel.counters import WorkSpanSnapshot
+from repro.parallel.runtime import (PAPER_MACHINE, MachineModel,
+                                    amdahl_fraction, brent_time,
+                                    format_speedup_table, max_useful_threads,
+                                    self_relative_speedup, simulated_time,
+                                    speedup_curve)
+
+
+class TestMachineModel:
+    def test_paper_machine_shape(self):
+        assert PAPER_MACHINE.cores == 30
+        assert PAPER_MACHINE.hyperthreads_per_core == 2
+
+    def test_effective_processors_physical_range(self):
+        assert PAPER_MACHINE.effective_processors(1) == 1
+        assert PAPER_MACHINE.effective_processors(30) == 30
+
+    def test_hyperthreads_are_fractional(self):
+        p60 = PAPER_MACHINE.effective_processors(60)
+        assert 30 < p60 < 60
+
+    def test_hyperthreads_cap(self):
+        # Requesting more threads than 2-way SMT provides caps out.
+        assert (PAPER_MACHINE.effective_processors(60)
+                == PAPER_MACHINE.effective_processors(1000))
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.effective_processors(0)
+
+
+class TestBrentTime:
+    def test_single_processor(self):
+        assert brent_time(100, 10, 1, span_constant=2) == 100 + 20
+
+    def test_work_term_divides(self):
+        t1 = brent_time(1000, 1, 1)
+        t10 = brent_time(1000, 1, 10)
+        assert t10 < t1
+        assert t10 >= 100  # never below W/P
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            brent_time(10, 1, 0)
+
+    @given(st.integers(1, 10 ** 6), st.integers(0, 10 ** 4),
+           st.integers(1, 128))
+    def test_monotone_in_processors(self, work, span, p):
+        snap_t = brent_time(work, span, p)
+        assert brent_time(work, span, p + 1) <= snap_t
+
+
+class TestSpeedups:
+    def test_speedup_is_one_on_one_thread(self):
+        snap = WorkSpanSnapshot(work=10_000, span=10)
+        assert self_relative_speedup(snap, 1) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_parallelism(self):
+        snap = WorkSpanSnapshot(work=1000, span=100)
+        # Parallelism is 10; speedup can never exceed W / (c*S) + ...
+        s = self_relative_speedup(snap, 60)
+        assert s < snap.parallelism + 1
+
+    def test_high_parallelism_scales_nearly_linearly(self):
+        snap = WorkSpanSnapshot(work=10 ** 9, span=100)
+        s30 = self_relative_speedup(snap, 30)
+        assert s30 > 28  # near-linear
+
+    def test_serial_computation_does_not_speed_up(self):
+        snap = WorkSpanSnapshot(work=100, span=100)
+        assert self_relative_speedup(snap, 60) < 1.5
+
+    def test_curve_monotone(self):
+        snap = WorkSpanSnapshot(work=10 ** 6, span=1000)
+        curve = speedup_curve(snap, (1, 2, 4, 8, 16, 30, 60))
+        assert curve == sorted(curve)
+        assert curve[0] == pytest.approx(1.0)
+
+    def test_simulated_time_calibrates_to_wall_clock(self):
+        snap = WorkSpanSnapshot(work=10 ** 6, span=1000)
+        assert simulated_time(snap, 1, 2.5) == pytest.approx(2.5)
+        assert simulated_time(snap, 30, 2.5) < 2.5
+
+    def test_simulated_time_zero_work(self):
+        assert simulated_time(WorkSpanSnapshot(0, 0), 4, 1.0) == 0.0
+
+
+class TestSummaries:
+    def test_amdahl_fraction(self):
+        assert amdahl_fraction(WorkSpanSnapshot(100, 10)) == pytest.approx(0.1)
+        assert amdahl_fraction(WorkSpanSnapshot(0, 0)) == 1.0
+        assert amdahl_fraction(WorkSpanSnapshot(5, 50)) == 1.0  # clamped
+
+    def test_max_useful_threads_orders_by_parallelism(self):
+        lo = max_useful_threads(WorkSpanSnapshot(10 ** 3, 500))
+        hi = max_useful_threads(WorkSpanSnapshot(10 ** 9, 500))
+        assert hi > lo
+
+    def test_format_speedup_table(self):
+        snap = WorkSpanSnapshot(work=10 ** 6, span=100)
+        out = format_speedup_table(["dblp (2,3)"], [snap], (1, 2, 60))
+        assert "dblp (2,3)" in out
+        assert "30h" in out  # hyper-thread column label
+        lines = out.splitlines()
+        assert len(lines) == 2

@@ -1,0 +1,81 @@
+"""Medium-scale randomized stress: every engine against the oracle.
+
+The per-module tests use tiny graphs for speed; this file runs the full
+cross-validation once at a scale where bucket rewinds, deep cascades,
+hash-table growth, and multi-level concatenation all genuinely occur.
+Kept to a few seconds total.
+"""
+
+import pytest
+
+from conftest import oracle_chain
+from repro import nucleus_decomposition
+from repro.baselines.local import local_nucleus
+from repro.baselines.nh import nh
+from repro.core.api import EXACT_METHODS
+from repro.core.approx import peel_approx
+from repro.core.nucleus import peel_exact, prepare
+from repro.core.validation import verify_decomposition
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import (powerlaw_cluster,
+                                     with_planted_communities)
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    base = powerlaw_cluster(450, 4, 0.6, seed=99)
+    return with_planted_communities(base, sizes=[22, 16, 12, 9], p_in=0.6,
+                                    seed=100, name="stress")
+
+
+@pytest.fixture(scope="module")
+def big_oracle(big_graph):
+    return oracle_chain(big_graph, 2, 3)
+
+
+@pytest.mark.parametrize("method", EXACT_METHODS)
+def test_all_methods_at_scale(big_graph, big_oracle, method):
+    prep, exact, chain = big_oracle
+    out = nucleus_decomposition(big_graph, 2, 3, method=method)
+    assert out.core == exact.core
+    assert out.tree.partition_chain() == chain
+
+
+def test_deep_cascades_on_community_graph(big_graph, big_oracle):
+    """The planted communities force multi-level LINK-EFFICIENT cascades."""
+    prep, exact, chain = big_oracle
+    out = nucleus_decomposition(big_graph, 2, 3, method="anh-el")
+    assert out.stats["cascade_calls"] > 0
+    assert out.max_core >= 5  # communities create depth
+    assert len(out.hierarchy_levels()) >= 5
+
+
+def test_approx_at_scale(big_graph, big_oracle):
+    prep, exact, chain = big_oracle
+    for delta in (0.1, 1.0):
+        approx = peel_approx(prep.incidence, delta)
+        assert all(a >= e for a, e in zip(approx.core, exact.core))
+        assert approx.rho < exact.rho
+
+
+def test_local_at_scale(big_graph, big_oracle):
+    prep, exact, chain = big_oracle
+    result = local_nucleus(prep.incidence)
+    assert result.core == exact.core
+
+
+def test_self_validation_at_scale(big_graph):
+    result = nucleus_decomposition(big_graph, 2, 3)
+    report = verify_decomposition(result, max_levels=3)
+    assert report.ok, str(report)
+
+
+def test_dataset_grid_quick_consistency():
+    """One (2,4) run per dataset stand-in: EL vs NH end to end."""
+    for name in ("amazon", "dblp", "orkut"):
+        graph = load_dataset(name, scale=0.2)
+        el = nucleus_decomposition(graph, 2, 4, method="anh-el")
+        baseline = nh(graph, 2, 4)
+        assert el.core == baseline.coreness.core, name
+        assert (el.tree.partition_chain()
+                == baseline.tree.partition_chain()), name

@@ -1,0 +1,191 @@
+"""Unit tests for the hierarchy tree structure and builder."""
+
+import pytest
+
+from repro.core.tree import (NO_PARENT, HierarchyTree, HierarchyTreeBuilder,
+                             tree_from_partition_chain)
+from repro.errors import HierarchyError
+
+
+def two_level_tree():
+    """Leaves 0,1 (core 3), 2 (core 2); node 3 = {0,1}@3, node 4 = all@2."""
+    return HierarchyTree(
+        n_leaves=3,
+        parent=[3, 3, 4, 4, NO_PARENT],
+        level=[3, 3, 2, 3, 2],
+        rep=[0, 1, 2, 0, 0],
+    )
+
+
+class TestStructure:
+    def test_counts(self):
+        t = two_level_tree()
+        assert t.n_nodes == 5
+        assert t.n_internal == 2
+        assert t.roots() == [4]
+
+    def test_children_and_leaves_under(self):
+        t = two_level_tree()
+        assert sorted(t.children(4)) == [2, 3]
+        assert t.leaves_under(4) == [0, 1, 2]
+        assert t.leaves_under(3) == [0, 1]
+        assert t.leaves_under(0) == [0]
+
+    def test_depth_and_height(self):
+        t = two_level_tree()
+        assert t.depth(0) == 2
+        assert t.depth(2) == 1
+        assert t.height() == 2
+
+    def test_core_numbers(self):
+        assert two_level_tree().core_numbers() == [3, 3, 2]
+
+
+class TestValidation:
+    def test_cycle_detected(self):
+        with pytest.raises(HierarchyError):
+            HierarchyTree(1, parent=[1, 2, 1], level=[1, 1, 1], rep=[0, 0, 0])
+
+    def test_leaf_parent_rejected(self):
+        with pytest.raises(HierarchyError):
+            HierarchyTree(2, parent=[1, NO_PARENT], level=[1, 1], rep=[0, 1])
+
+    def test_childless_internal_rejected(self):
+        with pytest.raises(HierarchyError):
+            HierarchyTree(1, parent=[NO_PARENT, NO_PARENT], level=[1, 1],
+                          rep=[0, 0])
+
+    def test_level_inversion_rejected(self):
+        # internal parent at level >= child's internal level
+        with pytest.raises(HierarchyError):
+            HierarchyTree(2, parent=[2, 2, 3, NO_PARENT],
+                          level=[5, 5, 3, 3], rep=[0, 1, 0, 0])
+
+    def test_parent_above_leaf_core_rejected(self):
+        with pytest.raises(HierarchyError):
+            HierarchyTree(2, parent=[2, 2, NO_PARENT],
+                          level=[1, 5, 4], rep=[0, 1, 1])
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(HierarchyError):
+            HierarchyTree(1, parent=[NO_PARENT], level=[1, 2], rep=[0])
+
+    def test_non_leaf_representative_rejected(self):
+        with pytest.raises(HierarchyError):
+            HierarchyTree(2, parent=[2, 2, NO_PARENT],
+                          level=[3, 3, 1], rep=[0, 1, 2])
+
+
+class TestNuclei:
+    def test_nuclei_at_levels(self):
+        t = two_level_tree()
+        assert t.nuclei_at(3) == [[0, 1]]
+        assert t.nuclei_at(2) == [[0, 1, 2]]
+        # above the max level: nothing qualifies
+        assert t.nuclei_at(4) == []
+
+    def test_nuclei_at_includes_singleton_leaves(self):
+        # leaf 2 has core 2 but only joins at level 2; at level 2.5 nothing;
+        # a lone high-core leaf is its own nucleus.
+        t = HierarchyTree(2, parent=[2, 2, NO_PARENT], level=[5, 2, 2],
+                          rep=[0, 1, 0])
+        assert t.nuclei_at(5) == [[0]]
+        assert t.nuclei_at(2) == [[0, 1]]
+
+    def test_nucleus_of_walks_to_highest_qualifying(self):
+        t = two_level_tree()
+        assert t.nucleus_of(0, 3) == [0, 1]
+        assert t.nucleus_of(0, 2) == [0, 1, 2]
+        assert t.nucleus_of(2, 3) is None  # core 2 < 3
+        with pytest.raises(HierarchyError):
+            t.nucleus_of(10, 1)
+
+    def test_distinct_levels_descending(self):
+        assert two_level_tree().distinct_levels() == [3, 2]
+
+    def test_partition_chain(self):
+        chain = two_level_tree().partition_chain()
+        assert chain[3] == frozenset({frozenset({0, 1})})
+        assert chain[2] == frozenset({frozenset({0, 1, 2})})
+
+    def test_partition_chain_ignores_single_child_chains(self):
+        # Same semantics with an extra single-child node in the middle.
+        chained = HierarchyTree(
+            n_leaves=3,
+            parent=[3, 3, 5, 4, 5, NO_PARENT],
+            level=[3, 3, 2, 3, 2.5, 2],
+            rep=[0, 1, 2, 0, 0, 0],
+        )
+        assert (chained.partition_chain()[3]
+                == two_level_tree().partition_chain()[3])
+        assert (chained.partition_chain()[2]
+                == two_level_tree().partition_chain()[2])
+
+
+class TestBuilder:
+    def test_merge_creates_parent(self):
+        b = HierarchyTreeBuilder([2, 2, 1])
+        node = b.merge([0, 1], 2)
+        assert node == 3
+        t = b.build()
+        assert t.leaves_under(node) == [0, 1]
+        assert t.level[node] == 2
+
+    def test_merge_singleton_is_noop(self):
+        b = HierarchyTreeBuilder([2, 2])
+        assert b.merge([0], 2) is None
+        assert b.merge([0, 0], 2) is None
+
+    def test_merge_same_component_twice_is_noop(self):
+        b = HierarchyTreeBuilder([2, 2])
+        assert b.merge([0, 1], 2) is not None
+        assert b.merge([0, 1], 1) is None
+
+    def test_nested_merges_track_tops(self):
+        b = HierarchyTreeBuilder([3, 3, 2])
+        inner = b.merge([0, 1], 3)
+        outer = b.merge([0, 2], 2)
+        t = b.build()
+        assert t.parent[inner] == outer
+        assert t.parent[2] == outer
+        assert t.leaves_under(outer) == [0, 1, 2]
+
+    def test_level_violation_raises(self):
+        b = HierarchyTreeBuilder([3, 3, 1])
+        b.merge([0, 1], 3)
+        with pytest.raises(HierarchyError):
+            b.merge([0, 2], 2)  # leaf 2 has core 1 < merge level 2
+
+    def test_top_of_leaf(self):
+        b = HierarchyTreeBuilder([1, 1])
+        assert b.top_of_leaf(0) == 0
+        node = b.merge([0, 1], 1)
+        assert b.top_of_leaf(0) == node
+
+
+class TestPartitionChainConstruction:
+    def test_round_trip(self):
+        core = [3, 3, 2, 0]
+        partitions = {3: [[0, 1]], 2: [[0, 1, 2]]}
+        t = tree_from_partition_chain(core, partitions)
+        assert t.nuclei_at(3) == [[0, 1]]
+        assert t.nuclei_at(2) == [[0, 1, 2]]
+        assert t.nuclei_at(1) == [[0, 1, 2]]
+
+    def test_forest_output(self):
+        core = [1, 1, 1, 1]
+        partitions = {1: [[0, 1], [2, 3]]}
+        t = tree_from_partition_chain(core, partitions)
+        assert len(t.roots()) == 2
+        assert sorted(map(tuple, t.nuclei_at(1))) == [(0, 1), (2, 3)]
+
+
+class TestRender:
+    def test_render_contains_nodes(self):
+        out = two_level_tree().render()
+        assert "nucleus#4" in out and "leaf#0" in out
+
+    def test_render_with_labels_and_cap(self):
+        t = two_level_tree()
+        out = t.render(labels={0: "edge{0,1}"}, max_nodes=2)
+        assert "edge{0,1}" in out or "more nodes" in out

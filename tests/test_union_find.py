@@ -1,0 +1,154 @@
+"""Unit + property tests for both union-find variants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.union_find import (ConcurrentUnionFind, SequentialUnionFind,
+                                 partition_refines)
+from repro.errors import DataStructureError
+from repro.parallel.atomics import FlakyAtomicCell
+
+
+@pytest.fixture(params=[ConcurrentUnionFind, SequentialUnionFind])
+def uf_cls(request):
+    return request.param
+
+
+class TestBasics:
+    def test_initially_singletons(self, uf_cls):
+        uf = uf_cls(5)
+        assert uf.n_components() == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_unite_merges(self, uf_cls):
+        uf = uf_cls(4)
+        uf.unite(0, 1)
+        assert uf.same_set(0, 1)
+        assert not uf.same_set(0, 2)
+        assert uf.n_components() == 3
+
+    def test_unite_is_idempotent(self, uf_cls):
+        uf = uf_cls(3)
+        uf.unite(0, 1)
+        root = uf.find(0)
+        assert uf.unite(0, 1) == root
+        assert uf.n_components() == 2
+
+    def test_transitivity(self, uf_cls):
+        uf = uf_cls(6)
+        uf.unite(0, 1)
+        uf.unite(2, 3)
+        uf.unite(1, 2)
+        assert uf.same_set(0, 3)
+
+    def test_components_grouping(self, uf_cls):
+        uf = uf_cls(5)
+        uf.unite(0, 4)
+        comps = uf.components()
+        groups = sorted(sorted(v) for v in comps.values())
+        assert groups == [[0, 4], [1], [2], [3]]
+
+    def test_out_of_range(self, uf_cls):
+        uf = uf_cls(3)
+        with pytest.raises(DataStructureError):
+            uf.find(3)
+        with pytest.raises(DataStructureError):
+            uf.find(-1)
+
+    def test_zero_size(self, uf_cls):
+        uf = uf_cls(0)
+        assert uf.n_components() == 0
+
+    def test_negative_size_rejected(self, uf_cls):
+        with pytest.raises(DataStructureError):
+            uf_cls(-1)
+
+    def test_stats_counted(self, uf_cls):
+        uf = uf_cls(4)
+        uf.unite(0, 1)
+        uf.unite(0, 1)
+        assert uf.stats.unites == 2
+        assert uf.stats.effective_unites == 1
+        assert uf.stats.finds >= 2
+
+
+@given(st.integers(1, 30),
+       st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)),
+                max_size=60))
+def test_both_variants_agree_with_reference(n, pairs):
+    """Both implementations induce the same partition as a naive reference."""
+    pairs = [(a % n, b % n) for a, b in pairs]
+    concurrent = ConcurrentUnionFind(n, seed=3)
+    sequential = SequentialUnionFind(n)
+    reference = list(range(n))  # label propagation reference
+
+    def ref_unite(a, b):
+        la, lb = reference[a], reference[b]
+        if la != lb:
+            for i in range(n):
+                if reference[i] == lb:
+                    reference[i] = la
+
+    for a, b in pairs:
+        concurrent.unite(a, b)
+        sequential.unite(a, b)
+        ref_unite(a, b)
+    for a in range(n):
+        for b in range(a + 1, n):
+            expected = reference[a] == reference[b]
+            assert concurrent.same_set(a, b) == expected
+            assert sequential.same_set(a, b) == expected
+
+
+class TestConcurrentSpecifics:
+    def test_roots_are_members(self):
+        uf = ConcurrentUnionFind(10, seed=1)
+        for a, b in [(0, 1), (1, 2), (5, 6)]:
+            uf.unite(a, b)
+        for root, members in uf.components().items():
+            assert root in members
+
+    def test_survives_cas_contention_on_unite(self):
+        """A failing CAS whose interference links the root concurrently."""
+        uf = ConcurrentUnionFind(4, seed=0)
+        # Find which root unite(0, 1) would write to, then make that cell
+        # flaky: the failure simulates another thread linking it to 2 first.
+        lower = uf.find(0) if uf._priority[uf.find(0)] < uf._priority[uf.find(1)] \
+            else uf.find(1)
+
+        def interference(cell):
+            uf.set_parent_cell(lower, original)  # restore real cell
+            uf.unite(lower, 2)  # the competing thread's unite wins
+
+        original = uf.parent_cell(lower)
+        uf.set_parent_cell(
+            lower, FlakyAtomicCell(original.load(), iter([True]),
+                                   interference=interference))
+        uf.unite(0, 1)
+        # After retry, 0 and 1 are united, and the contending unite holds.
+        assert uf.same_set(0, 1)
+        assert uf.same_set(lower, 2)
+
+    def test_seed_changes_priorities_not_partitions(self):
+        a = ConcurrentUnionFind(8, seed=1)
+        b = ConcurrentUnionFind(8, seed=99)
+        for x, y in [(0, 1), (2, 3), (1, 2)]:
+            a.unite(x, y)
+            b.unite(x, y)
+        assert sorted(map(sorted, a.components().values())) == \
+            sorted(map(sorted, b.components().values()))
+
+
+class TestPartitionRefines:
+    def test_refinement_holds(self):
+        fine = {0: [0], 1: [1, 2]}
+        coarse = {0: [0, 1, 2]}
+        assert partition_refines(fine, coarse)
+
+    def test_refinement_fails_on_split(self):
+        fine = {0: [0, 1]}
+        coarse = {0: [0], 1: [1]}
+        assert not partition_refines(fine, coarse)
+
+    def test_missing_element_fails(self):
+        assert not partition_refines({0: [0, 5]}, {0: [0]})

@@ -1,0 +1,81 @@
+"""Unit tests for the self-validation module (core.validation)."""
+
+import pytest
+
+from repro import nucleus_decomposition
+from repro.core.validation import ValidationReport, verify_decomposition
+from repro.graphs.generators import erdos_renyi, planted_nuclei
+from repro.graphs.graph import Graph
+
+
+class TestPassingRuns:
+    @pytest.mark.parametrize("method", ["anh-el", "anh-te", "anh-bl",
+                                        "anh-te-theory", "nh"])
+    def test_exact_methods_verify(self, method):
+        g = erdos_renyi(22, 0.35, seed=3)
+        result = nucleus_decomposition(g, 2, 3, method=method)
+        report = verify_decomposition(result)
+        assert report.ok, str(report)
+        assert len(report.checks) == 6
+
+    def test_approximate_run_verifies(self):
+        g = planted_nuclei([6, 5], bridge=True)
+        result = nucleus_decomposition(g, 2, 3, approx=True, delta=0.5)
+        report = verify_decomposition(result)
+        assert report.ok, str(report)
+        assert any("bound" in check for check in report.checks)
+
+    def test_coreness_only_verifies(self):
+        g = Graph.complete(5)
+        result = nucleus_decomposition(g, 2, 3, hierarchy=False)
+        report = verify_decomposition(result)
+        assert report.ok
+        # no tree checks for coreness-only runs
+        assert not any("tree" in check for check in report.checks)
+
+    def test_max_levels_cap(self):
+        g = planted_nuclei([6, 5, 4], bridge=True)
+        result = nucleus_decomposition(g, 2, 3)
+        report = verify_decomposition(result, max_levels=1)
+        assert report.ok
+        assert any("1 levels" in check for check in report.checks)
+
+
+class TestDetectingCorruption:
+    def test_tampered_coreness_detected(self):
+        g = planted_nuclei([5, 4], bridge=True)
+        result = nucleus_decomposition(g, 2, 3)
+        result.coreness.core[0] += 1  # corrupt one value
+        report = verify_decomposition(result)
+        assert not report.ok
+        assert report.failures
+
+    def test_lowered_coreness_detected(self):
+        g = planted_nuclei([5, 4], bridge=True)
+        result = nucleus_decomposition(g, 2, 3)
+        rid = result.core.index(3.0)
+        result.coreness.core[rid] = 1.0
+        report = verify_decomposition(result)
+        assert not report.ok
+
+    def test_tampered_tree_detected(self):
+        g = planted_nuclei([5, 4], bridge=True)
+        result = nucleus_decomposition(g, 2, 3)
+        # graft a leaf from the K4 nucleus under the K5 nucleus
+        tree = result.tree
+        k4_leaf = result.index.id_of((5, 6))
+        k5_node = next(n for n in range(tree.n_leaves, tree.n_nodes)
+                       if tree.level[n] == 3)
+        tree.parent[k4_leaf] = k5_node
+        tree._children[k5_node].append(k4_leaf)
+        report = verify_decomposition(result)
+        assert not report.ok
+
+    def test_report_formatting(self):
+        report = ValidationReport(ok=True)
+        report.record("alpha", True)
+        report.record("beta", False, "broke")
+        text = str(report)
+        assert "FAILED" in text
+        assert "ok: alpha" in text
+        assert "FAIL: beta: broke" in text
