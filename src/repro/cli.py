@@ -27,6 +27,7 @@ from typing import List, Optional
 from . import __version__
 from .analysis.reporting import format_table
 from .core.api import EXACT_METHODS, nucleus_decomposition
+from .parallel.backend import BACKEND_NAMES
 from .core.queries import HierarchyQueryIndex, hierarchy_statistics
 from .errors import ReproError
 from .export import decomposition_to_json, tree_to_dot
@@ -56,6 +57,14 @@ def _add_decomposition_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--strategy", default="materialized",
                         choices=("materialized", "reenum"),
                         help="s-clique incidence strategy")
+    parser.add_argument("--backend", default="serial",
+                        choices=BACKEND_NAMES,
+                        help="execution backend: 'serial' (instrumented "
+                             "work-span metering) or 'process' "
+                             "(multiprocessing pool)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --backend process "
+                             "(default: one per CPU)")
 
 
 def _load_graph(args: argparse.Namespace):
@@ -71,7 +80,9 @@ def _decompose(args: argparse.Namespace):
     graph = _load_graph(args)
     return nucleus_decomposition(
         graph, args.r, args.s, method=args.method, approx=args.approx,
-        delta=args.delta, strategy=args.strategy)
+        delta=args.delta, strategy=args.strategy,
+        backend=getattr(args, "backend", "serial"),
+        workers=getattr(args, "workers", None))
 
 
 def cmd_decompose(args: argparse.Namespace, out) -> int:

@@ -1,15 +1,17 @@
 """Clique substrate: enumeration, indexing, and s/r incidence."""
 
 from .enumeration import (Clique, clique_degeneracy_guard, cliques_containing,
-                          count_cliques, enumerate_cliques, list_cliques,
-                          triangle_count)
+                          cliques_of_vertices, count_cliques,
+                          enumerate_cliques, enumerate_cliques_via,
+                          list_cliques, triangle_count)
 from .incidence import (MaterializedIncidence, MemberTuple, ReEnumIncidence,
                         build_incidence, validate_rs)
 from .index import CliqueIndex
 
 __all__ = [
     "Clique", "clique_degeneracy_guard", "cliques_containing",
-    "count_cliques", "enumerate_cliques", "list_cliques", "triangle_count",
+    "cliques_of_vertices", "count_cliques", "enumerate_cliques",
+    "enumerate_cliques_via", "list_cliques", "triangle_count",
     "MaterializedIncidence", "MemberTuple", "ReEnumIncidence",
     "build_incidence", "validate_rs", "CliqueIndex",
 ]

@@ -14,9 +14,11 @@ span is the recursion depth times a log factor.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ParameterError
+from ..parallel.backend import ExecutionBackend
 from ..parallel.counters import NullCounter, WorkSpanCounter, log2_ceil
 from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation
@@ -66,6 +68,78 @@ def enumerate_cliques(orientation: Orientation, k: int,
             work += 1
             yield from extend([v], orientation.out_neighbors(v), k - 1)
     counter.add_parallel(max(work, 1), k + log2_ceil(max(n, 1)))
+
+
+def cliques_of_vertices(orientation: Orientation, vertices: Sequence[int],
+                        k: int) -> Tuple[List[Clique], int]:
+    """k-cliques rooted at each of ``vertices``, plus the extension work.
+
+    The per-vertex unit of the parallel top-level loop: the returned
+    cliques are exactly the ones :func:`enumerate_cliques` emits while
+    processing these vertices, in the same order, and the returned work
+    integer is exactly what the generator would have accumulated for
+    them. Module-level and driven by plain data so it can run in a
+    worker process (see :mod:`repro.parallel.backend`).
+    """
+    if k == 1:
+        return [(v,) for v in vertices], len(vertices)
+    cliques: List[Clique] = []
+    work = 0
+
+    def extend(prefix: List[int], candidates: Sequence[int],
+               remaining: int) -> None:
+        nonlocal work
+        if remaining == 1:
+            work += len(candidates)
+            for u in candidates:
+                cliques.append(tuple(sorted(prefix + [u])))
+            return
+        for u in candidates:
+            out_u = orientation.out_neighbor_set(u)
+            next_candidates = [w for w in candidates if w in out_u]
+            work += len(candidates)
+            prefix.append(u)
+            extend(prefix, next_candidates, remaining - 1)
+            prefix.pop()
+
+    for v in vertices:
+        work += 1
+        extend([v], orientation.out_neighbors(v), k - 1)
+    return cliques, work
+
+
+def _cliques_chunk(orientation: Orientation, vertices: List[int],
+                   k: int) -> Tuple[List[Clique], int]:
+    """Backend chunk task wrapping :func:`cliques_of_vertices`."""
+    return cliques_of_vertices(orientation, vertices, k)
+
+
+def enumerate_cliques_via(backend: ExecutionBackend, orientation: Orientation,
+                          k: int, counter: Optional[WorkSpanCounter] = None,
+                          chunk_size: Optional[int] = None) -> List[Clique]:
+    """All k-cliques in enumeration (vertex-major) order, via ``backend``.
+
+    The backend-dispatched form of :func:`enumerate_cliques`: the
+    top-level vertex loop is split into chunks that may run in worker
+    processes, and per-chunk work counts are merged back into
+    ``counter`` with the same span charge as the serial generator -- so
+    both the emitted cliques and the metered work/span are identical for
+    every backend, worker count, and chunk size.
+    """
+    if k < 1:
+        raise ParameterError(f"clique size must be >= 1, got {k}")
+    counter = counter if counter is not None else NullCounter()
+    n = orientation.graph.n
+    token = backend.broadcast(orientation)
+    results = backend.map_chunks(partial(_cliques_chunk, k=k), range(n),
+                                 token=token, chunk_size=chunk_size)
+    cliques: List[Clique] = []
+    work = 0
+    for chunk_cliques, chunk_work in results:
+        cliques.extend(chunk_cliques)
+        work += chunk_work
+    counter.add_parallel(max(work, 1), k + log2_ceil(max(n, 1)))
+    return cliques
 
 
 def count_cliques(orientation: Orientation, k: int,

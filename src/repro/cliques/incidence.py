@@ -22,18 +22,61 @@ Two strategies are provided behind one interface:
 
 from __future__ import annotations
 
+from functools import partial
 from itertools import combinations
 from math import comb
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ParameterError
+from ..parallel.backend import ExecutionBackend
 from ..parallel.counters import NullCounter, WorkSpanCounter, log2_ceil
 from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation, arb_orient
-from .enumeration import Clique, cliques_containing, enumerate_cliques
+from .enumeration import (Clique, cliques_containing, cliques_of_vertices,
+                          enumerate_cliques)
 from .index import CliqueIndex
 
 MemberTuple = Tuple[int, ...]
+
+
+def _use_pool(backend: Optional[ExecutionBackend]) -> bool:
+    return backend is not None and backend.is_parallel()
+
+
+def _members_chunk(context, vertices: List[int],
+                   s: int) -> Tuple[List[MemberTuple], int]:
+    """Backend task: member-id tuples of the s-cliques rooted at a chunk.
+
+    ``context`` is the broadcast ``(orientation, index)`` pair; the
+    returned tuples appear in the serial enumeration order for these
+    vertices, so concatenating chunk results in chunk order reproduces
+    the streaming construction exactly.
+    """
+    orientation, index = context
+    s_cliques, work = cliques_of_vertices(orientation, vertices, s)
+    r = index.r
+    members = [tuple(index.id_of(sub) for sub in combinations(c, r))
+               for c in s_cliques]
+    return members, work
+
+
+def _degrees_chunk(context, vertices: List[int],
+                   s: int) -> Tuple[Dict[int, int], int, int]:
+    """Backend task: partial s-clique degrees contributed by a chunk.
+
+    Returns ``(rid -> count, n_s_in_chunk, enumeration_work)``; partial
+    counts are summed by the caller (addition commutes, so the result is
+    independent of chunking).
+    """
+    orientation, index = context
+    s_cliques, work = cliques_of_vertices(orientation, vertices, s)
+    r = index.r
+    counts: Dict[int, int] = {}
+    for c in s_cliques:
+        for sub in combinations(c, r):
+            rid = index.id_of(sub)
+            counts[rid] = counts.get(rid, 0) + 1
+    return counts, len(s_cliques), work
 
 
 def validate_rs(r: int, s: int) -> None:
@@ -51,7 +94,9 @@ class MaterializedIncidence:
 
     def __init__(self, graph: Graph, orientation: Orientation,
                  index: CliqueIndex, s: int,
-                 counter: Optional[WorkSpanCounter] = None) -> None:
+                 counter: Optional[WorkSpanCounter] = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 chunk_size: Optional[int] = None) -> None:
         counter = counter if counter is not None else NullCounter()
         validate_rs(index.r, s)
         self.graph = graph
@@ -62,13 +107,33 @@ class MaterializedIncidence:
         self.s_choose_r = comb(s, index.r)
         members: List[MemberTuple] = []
         postings: List[List[int]] = [[] for _ in index.ids()]
-        for s_clique in enumerate_cliques(orientation, s, counter):
-            sid = len(members)
-            member_ids = tuple(index.id_of(sub)
-                               for sub in combinations(s_clique, index.r))
-            members.append(member_ids)
-            for rid in member_ids:
-                postings[rid].append(sid)
+        if _use_pool(backend):
+            # Per-vertex s-clique listing + member-id computation in
+            # worker processes; sid assignment and postings stay in the
+            # parent, walking chunk results in vertex-major order so the
+            # layout matches the streaming path bit for bit.
+            token = backend.broadcast((orientation, index))
+            results = backend.map_chunks(partial(_members_chunk, s=s),
+                                         range(graph.n), token=token,
+                                         chunk_size=chunk_size)
+            enum_work = 0
+            for chunk_members, chunk_work in results:
+                enum_work += chunk_work
+                for member_ids in chunk_members:
+                    sid = len(members)
+                    members.append(member_ids)
+                    for rid in member_ids:
+                        postings[rid].append(sid)
+            counter.add_parallel(max(enum_work, 1),
+                                 s + log2_ceil(max(graph.n, 1)))
+        else:
+            for s_clique in enumerate_cliques(orientation, s, counter):
+                sid = len(members)
+                member_ids = tuple(index.id_of(sub)
+                                   for sub in combinations(s_clique, index.r))
+                members.append(member_ids)
+                for rid in member_ids:
+                    postings[rid].append(sid)
         self._members = members
         self._postings = [tuple(p) for p in postings]
         counter.add_parallel(len(members) * self.s_choose_r + 1,
@@ -115,7 +180,9 @@ class ReEnumIncidence:
 
     def __init__(self, graph: Graph, orientation: Orientation,
                  index: CliqueIndex, s: int,
-                 counter: Optional[WorkSpanCounter] = None) -> None:
+                 counter: Optional[WorkSpanCounter] = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 chunk_size: Optional[int] = None) -> None:
         counter = counter if counter is not None else NullCounter()
         validate_rs(index.r, s)
         self.graph = graph
@@ -126,10 +193,24 @@ class ReEnumIncidence:
         self.s_choose_r = comb(s, index.r)
         degrees = [0] * len(index)
         n_s = 0
-        for s_clique in enumerate_cliques(orientation, s, counter):
-            n_s += 1
-            for sub in combinations(s_clique, index.r):
-                degrees[index.id_of(sub)] += 1
+        if _use_pool(backend):
+            token = backend.broadcast((orientation, index))
+            results = backend.map_chunks(partial(_degrees_chunk, s=s),
+                                         range(graph.n), token=token,
+                                         chunk_size=chunk_size)
+            enum_work = 0
+            for counts, chunk_n_s, chunk_work in results:
+                enum_work += chunk_work
+                n_s += chunk_n_s
+                for rid, count in counts.items():
+                    degrees[rid] += count
+            counter.add_parallel(max(enum_work, 1),
+                                 s + log2_ceil(max(graph.n, 1)))
+        else:
+            for s_clique in enumerate_cliques(orientation, s, counter):
+                n_s += 1
+                for sub in combinations(s_clique, index.r):
+                    degrees[index.id_of(sub)] += 1
         self._degrees = degrees
         self._n_s = n_s
         counter.add_parallel(n_s * self.s_choose_r + 1,
@@ -165,21 +246,30 @@ class ReEnumIncidence:
 def build_incidence(graph: Graph, r: int, s: int,
                     strategy: str = "materialized",
                     counter: Optional[WorkSpanCounter] = None,
-                    orientation: Optional[Orientation] = None):
+                    orientation: Optional[Orientation] = None,
+                    backend: Optional[ExecutionBackend] = None,
+                    chunk_size: Optional[int] = None):
     """Orient the graph, index the r-cliques, and build the incidence.
 
     Returns ``(orientation, index, incidence)`` -- the common preamble of
-    every decomposition algorithm (Algorithm 2/3, lines 3-5).
+    every decomposition algorithm (Algorithm 2/3, lines 3-5). When a
+    parallel ``backend`` is given, the r-clique listing and the s-clique
+    degree/incidence construction dispatch through it.
     """
     validate_rs(r, s)
     counter = counter if counter is not None else NullCounter()
     if orientation is None:
         orientation = arb_orient(graph, counter=counter)
-    index = CliqueIndex.from_orientation(orientation, r, counter)
+    index = CliqueIndex.from_orientation(orientation, r, counter,
+                                         backend=backend,
+                                         chunk_size=chunk_size)
     if strategy == "materialized":
-        incidence = MaterializedIncidence(graph, orientation, index, s, counter)
+        incidence = MaterializedIncidence(graph, orientation, index, s,
+                                          counter, backend=backend,
+                                          chunk_size=chunk_size)
     elif strategy == "reenum":
-        incidence = ReEnumIncidence(graph, orientation, index, s, counter)
+        incidence = ReEnumIncidence(graph, orientation, index, s, counter,
+                                    backend=backend, chunk_size=chunk_size)
     else:
         raise ParameterError(
             f"unknown incidence strategy {strategy!r}; "

@@ -52,10 +52,21 @@ class CliqueIndex:
 
     @classmethod
     def from_orientation(cls, orientation: Orientation, r: int,
-                         counter: Optional[WorkSpanCounter] = None
-                         ) -> "CliqueIndex":
-        """Enumerate and index all r-cliques of the graph."""
+                         counter: Optional[WorkSpanCounter] = None,
+                         backend=None,
+                         chunk_size: Optional[int] = None) -> "CliqueIndex":
+        """Enumerate and index all r-cliques of the graph.
+
+        A parallel execution ``backend`` (see
+        :mod:`repro.parallel.backend`) dispatches the per-vertex listing
+        to worker processes; ids are unaffected because the index sorts
+        canonically either way.
+        """
         counter = counter if counter is not None else NullCounter()
+        if backend is not None and backend.is_parallel():
+            from .enumeration import enumerate_cliques_via
+            return cls(enumerate_cliques_via(backend, orientation, r, counter,
+                                             chunk_size=chunk_size), r=r)
         return cls(enumerate_cliques(orientation, r, counter), r=r)
 
     def __len__(self) -> int:

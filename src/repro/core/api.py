@@ -32,6 +32,8 @@ from typing import Optional
 
 from ..errors import ParameterError
 from ..graphs.graph import Graph
+from ..parallel.backend import (ExecutionBackend, get_default_backend,
+                                make_backend)
 from ..parallel.counters import WorkSpanCounter
 from .approx import (approx_anh_bl, approx_anh_el, approx_anh_te, peel_approx)
 from .decomposition import NucleusDecomposition
@@ -56,7 +58,9 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
                           delta: float = 0.5,
                           strategy: str = "materialized",
                           counter: Optional[WorkSpanCounter] = None,
-                          seed: int = 0) -> NucleusDecomposition:
+                          seed: int = 0,
+                          backend=None,
+                          workers: Optional[int] = None) -> NucleusDecomposition:
     """Compute the (r, s) nucleus decomposition of ``graph``.
 
     Parameters
@@ -81,6 +85,17 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
         Optional work-span counter; a fresh one is used if omitted.
     seed:
         Seed for the randomized union-find priorities.
+    backend:
+        Execution backend (see :mod:`repro.parallel.backend`): ``None``
+        (the default instrumented serial runtime), a name from
+        ``BACKEND_NAMES`` (``"serial"`` / ``"process"``), or an
+        :class:`~repro.parallel.backend.ExecutionBackend` instance. The
+        clique listing, incidence construction, and peeling batch
+        gathering dispatch through it; results are identical for every
+        backend (differential-tested).
+    workers:
+        Worker-process count for the process backend; ``workers >= 2``
+        with ``backend=None`` implies ``backend="process"``.
     """
     if method == "auto":
         method = choose_method(r, s)
@@ -91,30 +106,39 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
     if approx and delta <= 0:
         raise ParameterError(f"delta must be > 0, got {delta}")
     counter = counter if counter is not None else WorkSpanCounter()
+    owns_backend = not isinstance(backend, ExecutionBackend)
+    exec_backend = make_backend(backend, workers=workers)
 
-    t_start = time.perf_counter()
-    prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
-    t_prepared = time.perf_counter()
+    try:
+        t_start = time.perf_counter()
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
+                           backend=exec_backend)
+        t_prepared = time.perf_counter()
 
-    if not hierarchy:
-        if approx:
-            coreness = peel_approx(prepared.incidence, delta, counter=counter)
+        if not hierarchy:
+            if approx:
+                coreness = peel_approx(prepared.incidence, delta,
+                                       counter=counter)
+            else:
+                coreness = peel_exact(prepared.incidence, counter=counter,
+                                      backend=exec_backend)
+            result = NucleusDecomposition(
+                graph=graph, r=r, s=s, method="coreness-only",
+                index=prepared.index, coreness=coreness, tree=None,
+                stats=dict(coreness.stats),
+                approx_delta=delta if approx else None)
         else:
-            coreness = peel_exact(prepared.incidence, counter=counter)
-        result = NucleusDecomposition(
-            graph=graph, r=r, s=s, method="coreness-only",
-            index=prepared.index, coreness=coreness, tree=None,
-            stats=dict(coreness.stats),
-            approx_delta=delta if approx else None)
-    else:
-        run = _run_hierarchy(graph, r, s, method, approx, delta, prepared,
-                             counter, seed)
-        result = NucleusDecomposition(
-            graph=graph, r=r, s=s, method=method,
-            index=prepared.index, coreness=run.coreness, tree=run.tree,
-            stats=dict(run.stats),
-            approx_delta=delta if approx else None)
-    t_end = time.perf_counter()
+            run = _run_hierarchy(graph, r, s, method, approx, delta, prepared,
+                                 counter, seed, exec_backend)
+            result = NucleusDecomposition(
+                graph=graph, r=r, s=s, method=method,
+                index=prepared.index, coreness=run.coreness, tree=run.tree,
+                stats=dict(run.stats),
+                approx_delta=delta if approx else None)
+        t_end = time.perf_counter()
+    finally:
+        if owns_backend and exec_backend is not get_default_backend():
+            exec_backend.close()
     result.seconds_prepare = t_prepared - t_start
     result.seconds_total = t_end - t_start
     return result
@@ -122,7 +146,7 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
 
 def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
                    delta: float, prepared, counter: WorkSpanCounter,
-                   seed: int) -> InterleavedResult:
+                   seed: int, backend=None) -> InterleavedResult:
     if approx:
         if method == "anh-el":
             return approx_anh_el(graph, r, s, delta=delta, prepared=prepared,
@@ -141,13 +165,14 @@ def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
             f"anh-el / anh-bl / anh-te / anh-te-theory")
     if method == "anh-el":
         return anh_el(graph, r, s, prepared=prepared, counter=counter,
-                      seed=seed)
+                      seed=seed, backend=backend)
     if method == "anh-bl":
         return anh_bl(graph, r, s, prepared=prepared, counter=counter,
-                      seed=seed)
+                      seed=seed, backend=backend)
     if method == "anh-te":
         return hierarchy_te_practical(graph, r, s, prepared=prepared,
-                                      counter=counter, seed=seed)
+                                      counter=counter, seed=seed,
+                                      backend=backend)
     if method == "anh-te-theory":
         return hierarchy_te_theoretical(graph, r, s, prepared=prepared,
                                         counter=counter)
@@ -157,7 +182,8 @@ def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
         return InterleavedResult(out.coreness, out.tree, out.stats)
     # method == "naive"
     from ..baselines.naive_hierarchy import naive_hierarchy
-    coreness = peel_exact(prepared.incidence, counter=counter)
+    coreness = peel_exact(prepared.incidence, counter=counter,
+                          backend=backend)
     tree = naive_hierarchy(prepared.incidence, coreness.core, counter=counter)
     return InterleavedResult(coreness, tree, dict(coreness.stats))
 

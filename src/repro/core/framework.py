@@ -14,8 +14,10 @@ that call discipline; this module plugs in the two LINK strategies and runs
 from __future__ import annotations
 
 import time
+from functools import partial
 from typing import Callable, Dict, Optional
 
+from ..parallel.backend import ExecutionBackend
 from ..parallel.counters import WorkSpanCounter
 from ..graphs.graph import Graph
 from .link_basic import LinkBasic
@@ -66,21 +68,24 @@ def anh_el(graph: Graph, r: int, s: int,
            strategy: str = "materialized",
            counter: Optional[WorkSpanCounter] = None,
            prepared: Optional[NucleusInput] = None,
-           seed: int = 0) -> InterleavedResult:
+           seed: int = 0,
+           backend: Optional[ExecutionBackend] = None) -> InterleavedResult:
     """ANH-EL: interleaved framework with ``LINK-EFFICIENT`` (Algorithm 5)."""
     counter = counter if counter is not None else WorkSpanCounter()
     if prepared is None:
-        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
+                           backend=backend)
     return run_interleaved(prepared,
                            lambda core: LinkEfficient(core, seed=seed),
-                           counter)
+                           counter, peel=partial(peel_exact, backend=backend))
 
 
 def anh_bl(graph: Graph, r: int, s: int,
            strategy: str = "materialized",
            counter: Optional[WorkSpanCounter] = None,
            prepared: Optional[NucleusInput] = None,
-           seed: int = 0) -> InterleavedResult:
+           seed: int = 0,
+           backend: Optional[ExecutionBackend] = None) -> InterleavedResult:
     """ANH-BL: interleaved framework with ``LINK-BASIC`` (Algorithm 4).
 
     The per-level union-finds need the level universe up front; for the
@@ -91,11 +96,13 @@ def anh_bl(graph: Graph, r: int, s: int,
     """
     counter = counter if counter is not None else WorkSpanCounter()
     if prepared is None:
-        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
+                           backend=backend)
     max_possible = max(prepared.incidence.initial_degrees(), default=0)
     levels = [float(i) for i in range(1, int(max_possible) + 1)]
 
     def make(core):
         return LinkBasic(core, levels=levels, seed=seed)
 
-    return run_interleaved(prepared, make, counter)
+    return run_interleaved(prepared, make, counter,
+                           peel=partial(peel_exact, backend=backend))

@@ -279,7 +279,8 @@ def hierarchy_te_practical(graph: Graph, r: int, s: int,
                            counter: Optional[WorkSpanCounter] = None,
                            prepared: Optional[NucleusInput] = None,
                            coreness: Optional[CorenessResult] = None,
-                           seed: int = 0) -> InterleavedResult:
+                           seed: int = 0,
+                           backend=None) -> InterleavedResult:
     """Section 7.4 ANH-TE: single union-find over core-sorted r-cliques.
 
     After the coreness pass, r-cliques are processed in descending core
@@ -290,10 +291,12 @@ def hierarchy_te_practical(graph: Graph, r: int, s: int,
     """
     counter = counter if counter is not None else WorkSpanCounter()
     if prepared is None:
-        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
+                           backend=backend)
     t0 = time.perf_counter()
     if coreness is None:
-        coreness = peel_exact(prepared.incidence, counter=counter)
+        coreness = peel_exact(prepared.incidence, counter=counter,
+                              backend=backend)
     core = coreness.core
     t1 = time.perf_counter()
     n_r = prepared.n_r

@@ -24,10 +24,11 @@ paper's Theorem 5.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ds.bucketing import BucketQueue
 from ..errors import ParameterError
+from ..parallel.backend import ExecutionBackend
 from ..parallel.counters import (NullCounter, WorkSpanCounter,
                                  WorkSpanSnapshot, log2_ceil)
 from ..graphs.graph import Graph
@@ -67,10 +68,23 @@ class CorenessResult:
     stats: Dict[str, float] = field(default_factory=dict)
 
 
+def _gather_chunk(incidence, rids: List[int]) -> List[List[Tuple[int, ...]]]:
+    """Backend task: the s-clique member tuples of each r-clique in a chunk.
+
+    The read-only half of a peeling round -- enumerating what each
+    batch member touches -- extracted so it can run in worker processes
+    against the broadcast incidence. The mutating half (liveness checks,
+    decrements, link calls) stays in the parent, in batch order.
+    """
+    return [list(incidence.s_cliques_containing(rid)) for rid in rids]
+
+
 def peel_exact(incidence, counter: Optional[WorkSpanCounter] = None,
                link: Optional[LinkFn] = None,
                core_out: Optional[List[float]] = None,
-               bucketing: str = "julienne") -> CorenessResult:
+               bucketing: str = "julienne",
+               backend: Optional[ExecutionBackend] = None,
+               chunk_size: Optional[int] = None) -> CorenessResult:
     """Run the exact peeling process over a prebuilt incidence.
 
     ``link(R', R)`` is invoked for every s-clique-adjacent pair at the
@@ -85,6 +99,12 @@ def peel_exact(incidence, counter: Optional[WorkSpanCounter] = None,
     default array-of-buckets structure [16]) or ``"heap"`` (the
     space-restricted addressable heap of the paper's Section 6 footnote;
     space ``3 * n_r`` regardless of degree range).
+
+    ``backend`` (see :mod:`repro.parallel.backend`) parallelizes the
+    read-only half of each round -- gathering the s-cliques containing
+    every batch member -- across worker processes; the mutating updates
+    are then applied in the parent in the same deterministic id order as
+    the serial path, so the results are identical for every backend.
     """
     counter = counter if counter is not None else NullCounter()
     n_r = incidence.n_r
@@ -111,14 +131,25 @@ def peel_exact(incidence, counter: Optional[WorkSpanCounter] = None,
     k_cur = 0
     link_calls = 0
     n_log = log2_ceil(max(n_r, 1))
+    use_pool = backend is not None and backend.is_parallel()
+    gather_token = backend.broadcast(incidence) if use_pool else None
     while not queue.empty:
         value, batch = queue.next_bucket()
         k_cur = max(k_cur, value)
         round_work = len(batch)
         for rid in batch:
             core[rid] = float(k_cur)
-        for rid in batch:
-            for members in incidence.s_cliques_containing(rid):
+        if use_pool and len(batch) > 1:
+            gathered = backend.map_chunks(_gather_chunk, batch,
+                                          token=gather_token,
+                                          chunk_size=chunk_size)
+            memberships = [m for chunk in gathered for m in chunk]
+        else:
+            memberships = None
+        for position, rid in enumerate(batch):
+            membership = (memberships[position] if memberships is not None
+                          else incidence.s_cliques_containing(rid))
+            for members in membership:
                 round_work += len(members)
                 others = [x for x in members if x != rid]
                 if all(alive[o] for o in others):
@@ -174,15 +205,20 @@ class NucleusInput:
 
 
 def prepare(graph: Graph, r: int, s: int, strategy: str = "materialized",
-            counter: Optional[WorkSpanCounter] = None) -> NucleusInput:
+            counter: Optional[WorkSpanCounter] = None,
+            backend: Optional[ExecutionBackend] = None,
+            chunk_size: Optional[int] = None) -> NucleusInput:
     """Orient, index r-cliques, and build the s-clique incidence.
 
     The shared preamble (Algorithm 2/3, lines 3-5): ``ARB-ORIENT`` followed
-    by ``REC-LIST-CLIQUES``-based counting.
+    by ``REC-LIST-CLIQUES``-based counting. A parallel ``backend``
+    dispatches the clique listing and incidence construction through
+    worker processes (results are backend-independent).
     """
     validate_rs(r, s)
     orientation, index, incidence = build_incidence(
-        graph, r, s, strategy=strategy, counter=counter)
+        graph, r, s, strategy=strategy, counter=counter, backend=backend,
+        chunk_size=chunk_size)
     return NucleusInput(graph=graph, r=r, s=s, orientation=orientation,
                         index=index, incidence=incidence)
 
@@ -191,7 +227,9 @@ def arb_nucleus(graph: Graph, r: int, s: int,
                 strategy: str = "materialized",
                 counter: Optional[WorkSpanCounter] = None,
                 prepared: Optional[NucleusInput] = None,
-                bucketing: str = "julienne") -> CorenessResult:
+                bucketing: str = "julienne",
+                backend: Optional[ExecutionBackend] = None,
+                chunk_size: Optional[int] = None) -> CorenessResult:
     """Exact (r, s)-clique core numbers of every r-clique (``ARB-NUCLEUS``).
 
     Returns a :class:`CorenessResult`; r-clique ids follow the
@@ -201,6 +239,8 @@ def arb_nucleus(graph: Graph, r: int, s: int,
     """
     counter = counter if counter is not None else WorkSpanCounter()
     if prepared is None:
-        prepared = prepare(graph, r, s, strategy=strategy, counter=counter)
+        prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
+                           backend=backend, chunk_size=chunk_size)
     return peel_exact(prepared.incidence, counter=counter, link=None,
-                      bucketing=bucketing)
+                      bucketing=bucketing, backend=backend,
+                      chunk_size=chunk_size)

@@ -1,13 +1,20 @@
-"""Simulated shared-memory parallel runtime (work-span model).
+"""Parallel runtime: work-span metering plus pluggable execution backends.
 
 This package is the substitution layer for the paper's ParlayLib-based C++
 parallelism (see DESIGN.md, Section 2): algorithms execute deterministically
 while metering work and span, and :mod:`repro.parallel.runtime` maps the
 measurements through Brent's bound to predict multi-core behaviour.
+:mod:`repro.parallel.backend` adds real process-parallel execution for the
+embarrassingly-parallel hot paths: the same algorithm code runs on the
+instrumented serial backend or on a ``multiprocessing`` pool, with
+differential tests proving the two produce identical results.
 """
 
 from .atomics import (AtomicCell, AtomicStats, FlakyAtomicCell,
                       fetch_and_add, write_min)
+from .backend import (BACKEND_NAMES, MAX_WORKERS, ExecutionBackend,
+                      ProcessBackend, SerialBackend, chunked, clamp_workers,
+                      default_chunk_size, get_default_backend, make_backend)
 from .hashtable import ParallelHashTable
 from .counters import (NullCounter, WorkSpanCounter, WorkSpanSnapshot,
                        geometric_span, log2_ceil)
@@ -22,6 +29,9 @@ from .runtime import (DEFAULT_SPAN_CONSTANT, PAPER_MACHINE, MachineModel,
                       simulated_time, speedup_curve)
 
 __all__ = [
+    "BACKEND_NAMES", "MAX_WORKERS", "ExecutionBackend", "ProcessBackend",
+    "SerialBackend", "chunked", "clamp_workers", "default_chunk_size",
+    "get_default_backend", "make_backend",
     "ParallelHashTable", "AtomicCell", "AtomicStats", "FlakyAtomicCell", "fetch_and_add",
     "write_min", "NullCounter", "WorkSpanCounter", "WorkSpanSnapshot",
     "geometric_span", "log2_ceil", "list_rank", "lists_to_arrays",

@@ -1,0 +1,361 @@
+"""Pluggable process-parallel execution backends.
+
+The rest of :mod:`repro.parallel` *meters* parallelism: algorithms run on
+one thread while a :class:`~repro.parallel.counters.WorkSpanCounter`
+records the work and span a genuinely parallel execution would incur.
+This module adds the *execution* half: an :class:`ExecutionBackend`
+abstraction that the embarrassingly-parallel hot paths (k-clique listing,
+s-clique degree computation, per-bucket batch gathering in peeling)
+dispatch through, with two implementations:
+
+* :class:`SerialBackend` -- runs every chunk in-process. This is the
+  default and preserves the seed behaviour exactly: deterministic
+  execution plus work--span metering.
+* :class:`ProcessBackend` -- a ``concurrent.futures`` process pool that
+  side-steps the GIL, mirroring how the paper layers ParlayLib under its
+  algorithms. Task closures must be picklable module-level functions;
+  large read-only inputs (the orientation, the incidence) are shipped to
+  workers once per pool via :meth:`ExecutionBackend.broadcast` rather
+  than once per task.
+
+Both backends expose the same chunked-map primitive and produce
+**identical results in identical order** -- chunking only partitions a
+deterministic item sequence, and chunk results are concatenated in
+submission order. Worker functions return ``(payload, work)`` pairs where
+the call site needs work accounting; the per-chunk work integers are
+summed and merged back into the caller's ``WorkSpanCounter`` with the
+same span formula the serial path charges, so the metered quantities do
+not depend on the backend either. ``tests/test_backend_equivalence.py``
+is the differential harness that pins this contract.
+
+``ProcessBackend`` degrades gracefully to serial execution when
+``workers <= 1``, when the platform offers no usable start method, or
+when the pool breaks mid-flight (e.g. a worker is killed): the same
+chunk functions then run in-process, so a degraded backend is always
+still correct.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+from ..errors import ParameterError
+
+T = TypeVar("T")
+
+#: Hard cap on pool size; above this the per-worker fork/IPC overhead
+#: dwarfs any conceivable benefit for this library's task shapes.
+MAX_WORKERS = 64
+
+#: Registry of backend names accepted by :func:`make_backend` (and the
+#: CLI's ``--backend`` flag).
+BACKEND_NAMES = ("serial", "process")
+
+#: A chunk task: ``fn(context, chunk)`` where ``context`` is the object
+#: broadcast for the accompanying token (``None`` when no token is given)
+#: and ``chunk`` is a contiguous slice of the item sequence.
+ChunkFn = Callable[[Any, List[T]], Any]
+
+
+def clamp_workers(workers: Optional[int]) -> int:
+    """Resolve a requested worker count to a usable pool size.
+
+    ``None`` means "one per available CPU". Requests below 1 clamp to 1
+    (a 0- or negative-worker pool is a configuration error we absorb, not
+    raise on, so sweeps can pass computed counts); requests above
+    :data:`MAX_WORKERS` clamp down to it.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, min(int(workers), MAX_WORKERS))
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> List[List[T]]:
+    """Split ``items`` into contiguous chunks of at most ``chunk_size``.
+
+    The concatenation of the chunks is exactly ``list(items)``; an empty
+    input produces no chunks (not one empty chunk).
+    """
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    items = list(items)
+    return [items[i:i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """Chunk size giving each worker ~4 chunks (load balancing vs IPC).
+
+    Four-ish chunks per worker is the standard compromise: big enough to
+    amortize pickling, small enough that one slow chunk does not leave
+    the other workers idle at the tail.
+    """
+    if workers <= 1:
+        return max(1, n_items)
+    return max(1, -(-n_items // (workers * 4)))
+
+
+class ExecutionBackend:
+    """Protocol for chunked parallel-for execution.
+
+    Implementations provide :meth:`map_chunks`; everything else has
+    working defaults. The contract every implementation must honour:
+
+    * chunk results are returned in chunk order (deterministic);
+    * ``fn`` may run in another process, so it must be a picklable
+      module-level callable (or :func:`functools.partial` of one);
+    * exceptions raised by ``fn`` propagate to the caller.
+    """
+
+    name = "abstract"
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def is_parallel(self) -> bool:
+        """Whether maps may actually run outside the calling process."""
+        return False
+
+    def broadcast(self, obj: Any) -> int:
+        """Register a read-only context object shared with every worker.
+
+        Returns a token to pass as ``map_chunks(..., token=...)``; the
+        object reaches worker processes once per pool rather than once
+        per task. Broadcasting the same object again returns the
+        existing token.
+        """
+        raise NotImplementedError
+
+    def map_chunks(self, fn: ChunkFn, items: Sequence[T], *,
+                   token: Optional[int] = None,
+                   chunk_size: Optional[int] = None) -> List[Any]:
+        """Apply ``fn(context, chunk)`` over chunks of ``items``, in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution: the instrumented work--span metering path."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._contexts: dict = {}
+        self._tokens: dict = {}
+
+    def broadcast(self, obj: Any) -> int:
+        key = id(obj)
+        if key in self._tokens:
+            return self._tokens[key]
+        token = len(self._contexts)
+        self._contexts[token] = obj
+        self._tokens[key] = token
+        return token
+
+    def map_chunks(self, fn: ChunkFn, items: Sequence[T], *,
+                   token: Optional[int] = None,
+                   chunk_size: Optional[int] = None) -> List[Any]:
+        context = self._contexts[token] if token is not None else None
+        size = chunk_size if chunk_size is not None else max(1, len(items))
+        return [fn(context, chunk) for chunk in chunked(items, size)]
+
+
+# -- worker-process plumbing (module level: must be picklable) -------------
+
+_WORKER_CONTEXTS: dict = {}
+
+
+def _worker_init(contexts: dict) -> None:
+    """Pool initializer: install the broadcast contexts in this worker."""
+    global _WORKER_CONTEXTS
+    _WORKER_CONTEXTS = contexts
+
+
+def _call_chunk(fn: ChunkFn, token: Optional[int], chunk: List[Any]) -> Any:
+    """Task trampoline executed inside a worker process."""
+    context = _WORKER_CONTEXTS.get(token) if token is not None else None
+    return fn(context, chunk)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Chunked task dispatch over a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` uses one worker per CPU. Values are clamped
+        to ``[1, MAX_WORKERS]``; ``workers == 1`` never creates a pool
+        (pure serial fallback).
+    chunk_size:
+        Default chunk size for :meth:`map_chunks` calls that do not pass
+        their own; ``None`` derives one from the item count.
+    start_method:
+        ``multiprocessing`` start method (``"fork"`` preferred where
+        available: broadcast contexts then travel by copy-on-write
+        inheritance rather than re-pickling). An unavailable method
+        triggers the serial fallback instead of an error.
+    min_dispatch:
+        Item count below which maps run in-process: a two-item round
+        trip costs more IPC than it saves.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 min_dispatch: int = 2) -> None:
+        self._workers = clamp_workers(workers)
+        self._chunk_size = chunk_size
+        self._min_dispatch = max(1, min_dispatch)
+        self._contexts: dict = {}
+        self._tokens: dict = {}
+        self._pool = None
+        self._pool_stale = True
+        self._fallback_reason: Optional[str] = None
+        self._mp_context = None
+        if self._workers <= 1:
+            self._fallback_reason = "workers <= 1"
+        else:
+            self._mp_context = self._resolve_context(start_method)
+
+    def _resolve_context(self, start_method: Optional[str]):
+        import multiprocessing as mp
+        available = mp.get_all_start_methods()
+        if start_method is None:
+            # fork shares broadcast contexts copy-on-write; spawn/forkserver
+            # re-import and re-pickle but are the only options on some OSes.
+            for method in ("fork", "spawn", "forkserver"):
+                if method in available:
+                    return mp.get_context(method)
+            self._fallback_reason = "no multiprocessing start method"
+            return None
+        if start_method not in available:
+            self._fallback_reason = (
+                f"start method {start_method!r} unavailable "
+                f"(have {available})")
+            return None
+        return mp.get_context(start_method)
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def fallback_reason(self) -> Optional[str]:
+        """Why this backend runs serially, or ``None`` if it is pooled."""
+        return self._fallback_reason
+
+    def is_parallel(self) -> bool:
+        return self._fallback_reason is None
+
+    def broadcast(self, obj: Any) -> int:
+        key = id(obj)
+        if key in self._tokens:
+            return self._tokens[key]
+        token = len(self._contexts)
+        self._contexts[token] = obj
+        self._tokens[key] = token
+        self._pool_stale = True  # workers must be (re)seeded with it
+        return token
+
+    # -- execution -------------------------------------------------------
+
+    def _ensure_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+        if self._pool is not None and not self._pool_stale:
+            return self._pool
+        self.close()
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=self._mp_context,
+                initializer=_worker_init,
+                initargs=(self._contexts,))
+        except (OSError, ValueError) as exc:
+            self._fallback_reason = f"pool creation failed: {exc}"
+            self._pool = None
+        self._pool_stale = False
+        return self._pool
+
+    def _run_serial(self, fn: ChunkFn, items: Sequence[T],
+                    token: Optional[int], size: int) -> List[Any]:
+        context = self._contexts[token] if token is not None else None
+        return [fn(context, chunk) for chunk in chunked(items, size)]
+
+    def map_chunks(self, fn: ChunkFn, items: Sequence[T], *,
+                   token: Optional[int] = None,
+                   chunk_size: Optional[int] = None) -> List[Any]:
+        items = list(items)
+        size = chunk_size or self._chunk_size or \
+            default_chunk_size(len(items), self._workers)
+        if (self._fallback_reason is not None
+                or len(items) < self._min_dispatch):
+            return self._run_serial(fn, items, token, size)
+        pool = self._ensure_pool()
+        if pool is None:  # creation failed just now: degraded
+            return self._run_serial(fn, items, token, size)
+        from concurrent.futures.process import BrokenProcessPool
+        try:
+            futures = [pool.submit(_call_chunk, fn, token, chunk)
+                       for chunk in chunked(items, size)]
+            return [f.result() for f in futures]
+        except BrokenProcessPool:
+            # A worker died (OOM kill, unpicklable surprise at spawn...).
+            # Degrade to serial for the rest of this backend's life --
+            # correctness over speed. Task-level exceptions are NOT
+            # caught here: they re-raise to the caller unchanged.
+            self._fallback_reason = "process pool broke mid-flight"
+            self.close()
+            return self._run_serial(fn, items, token, size)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_stale = True
+
+
+#: Process-wide default backend: the seed behaviour.
+_DEFAULT_BACKEND = SerialBackend()
+
+
+def get_default_backend() -> SerialBackend:
+    """The shared serial backend used when callers pass ``backend=None``."""
+    return _DEFAULT_BACKEND
+
+
+def make_backend(spec: Any = None, workers: Optional[int] = None,
+                 **kwargs: Any) -> ExecutionBackend:
+    """Resolve a backend from a name, an instance, or ``None``.
+
+    ``None`` returns the shared :class:`SerialBackend` unless ``workers``
+    asks for more than one, in which case a :class:`ProcessBackend` is
+    built (so ``nucleus_decomposition(..., workers=4)`` alone is enough
+    to opt in). A string must be one of :data:`BACKEND_NAMES`; an
+    :class:`ExecutionBackend` instance passes through unchanged.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        if workers is not None and clamp_workers(workers) > 1:
+            return ProcessBackend(workers=workers, **kwargs)
+        return get_default_backend()
+    if spec == "serial":
+        return get_default_backend() if not kwargs else SerialBackend()
+    if spec == "process":
+        return ProcessBackend(workers=workers, **kwargs)
+    raise ParameterError(
+        f"unknown backend {spec!r}; expected one of {BACKEND_NAMES} "
+        f"or an ExecutionBackend instance")

@@ -1,0 +1,273 @@
+"""Unit tests for the execution-backend layer itself.
+
+Chunking boundaries, worker clamping, context broadcast, exception
+propagation out of worker processes, graceful degradation, and the
+work-counter merge contract -- everything
+``tests/test_backend_equivalence.py`` builds on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.cliques.enumeration import enumerate_cliques, enumerate_cliques_via
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.orientation import arb_orient
+from repro.parallel.backend import (BACKEND_NAMES, MAX_WORKERS,
+                                    ExecutionBackend, ProcessBackend,
+                                    SerialBackend, chunked, clamp_workers,
+                                    default_chunk_size, get_default_backend,
+                                    make_backend)
+from repro.parallel.counters import WorkSpanCounter
+
+
+# -- module-level chunk functions (must be picklable for process tests) ----
+
+def _echo_chunk(context, chunk):
+    return list(chunk)
+
+
+def _square_chunk(context, chunk):
+    return [x * x for x in chunk]
+
+
+def _add_context_chunk(context, chunk):
+    return [context + x for x in chunk]
+
+
+def _pid_chunk(context, chunk):
+    return os.getpid()
+
+
+def _boom_chunk(context, chunk):
+    raise ValueError("boom from worker")
+
+
+def _exit_unless_parent_chunk(context, chunk):
+    # Simulates a worker hard-crashing (OOM kill): dies in any process
+    # other than the one whose pid was broadcast as context.
+    if os.getpid() != context:
+        os._exit(1)
+    return list(chunk)
+
+
+class TestChunked:
+    def test_empty_input_gives_no_chunks(self):
+        assert chunked([], 4) == []
+
+    def test_chunk_size_one(self):
+        assert chunked([5, 6, 7], 1) == [[5], [6], [7]]
+
+    def test_chunk_larger_than_input(self):
+        assert chunked([1, 2], 100) == [[1, 2]]
+
+    def test_exact_division(self):
+        assert chunked(list(range(6)), 3) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_remainder_chunk(self):
+        assert chunked(list(range(5)), 2) == [[0, 1], [2, 3], [4]]
+
+    def test_concatenation_identity(self):
+        items = list(range(17))
+        for size in (1, 2, 3, 5, 16, 17, 100):
+            flat = [x for chunk in chunked(items, size) for x in chunk]
+            assert flat == items
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ParameterError):
+            chunked([1], 0)
+
+
+class TestClampWorkers:
+    def test_none_uses_cpu_count(self):
+        assert clamp_workers(None) == max(1, min(os.cpu_count() or 1,
+                                                 MAX_WORKERS))
+
+    def test_low_values_clamp_to_one(self):
+        assert clamp_workers(0) == 1
+        assert clamp_workers(-8) == 1
+        assert clamp_workers(1) == 1
+
+    def test_high_values_clamp_to_cap(self):
+        assert clamp_workers(10 ** 6) == MAX_WORKERS
+
+    def test_in_range_passes_through(self):
+        assert clamp_workers(3) == 3
+
+
+class TestDefaultChunkSize:
+    def test_single_worker_gets_one_chunk(self):
+        assert default_chunk_size(100, 1) == 100
+
+    def test_multi_worker_splits(self):
+        size = default_chunk_size(100, 4)
+        assert 1 <= size < 100
+        # every item covered, about 4 chunks per worker
+        assert -(-100 // size) >= 4
+
+    def test_zero_items(self):
+        assert default_chunk_size(0, 4) >= 1
+
+
+class TestSerialBackend:
+    def test_is_not_parallel(self):
+        assert not SerialBackend().is_parallel()
+        assert SerialBackend().workers == 1
+
+    def test_map_preserves_order(self):
+        backend = SerialBackend()
+        out = backend.map_chunks(_square_chunk, range(10), chunk_size=3)
+        assert [x for c in out for x in c] == [i * i for i in range(10)]
+
+    def test_chunk_partition_respected(self):
+        backend = SerialBackend()
+        out = backend.map_chunks(_echo_chunk, range(5), chunk_size=2)
+        assert out == [[0, 1], [2, 3], [4]]
+
+    def test_broadcast_context_reaches_fn(self):
+        backend = SerialBackend()
+        token = backend.broadcast(100)
+        out = backend.map_chunks(_add_context_chunk, [1, 2, 3], token=token)
+        assert [x for c in out for x in c] == [101, 102, 103]
+
+    def test_broadcast_same_object_reuses_token(self):
+        backend = SerialBackend()
+        obj = object()
+        assert backend.broadcast(obj) == backend.broadcast(obj)
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="boom"):
+            SerialBackend().map_chunks(_boom_chunk, [1, 2])
+
+
+class TestProcessBackendFallback:
+    def test_single_worker_never_pools(self):
+        backend = ProcessBackend(workers=1)
+        assert not backend.is_parallel()
+        assert backend.fallback_reason == "workers <= 1"
+        assert backend.map_chunks(_pid_chunk, range(4)) == [os.getpid()]
+
+    def test_unavailable_start_method_degrades(self):
+        backend = ProcessBackend(workers=2, start_method="not-a-method")
+        assert not backend.is_parallel()
+        assert "not-a-method" in backend.fallback_reason
+        # still fully functional, context included
+        token = backend.broadcast(7)
+        out = backend.map_chunks(_add_context_chunk, [1, 2], token=token)
+        assert [x for c in out for x in c] == [8, 9]
+
+    def test_small_inputs_stay_in_process(self):
+        with ProcessBackend(workers=2, min_dispatch=100) as backend:
+            pids = backend.map_chunks(_pid_chunk, range(5), chunk_size=1)
+        assert set(pids) == {os.getpid()}
+
+    def test_broken_pool_degrades_to_serial(self):
+        with ProcessBackend(workers=2, min_dispatch=1) as backend:
+            token = backend.broadcast(os.getpid())
+            out = backend.map_chunks(_exit_unless_parent_chunk, [1, 2, 3, 4],
+                                     token=token, chunk_size=1)
+        assert [x for c in out for x in c] == [1, 2, 3, 4]
+        assert not backend.is_parallel()
+        assert "broke" in backend.fallback_reason
+
+
+class TestProcessBackendPool:
+    @pytest.fixture()
+    def backend(self):
+        with ProcessBackend(workers=2, min_dispatch=1) as backend:
+            yield backend
+
+    def test_results_arrive_in_chunk_order(self, backend):
+        out = backend.map_chunks(_square_chunk, range(20), chunk_size=3)
+        assert [x for c in out for x in c] == [i * i for i in range(20)]
+
+    def test_chunk_partition_respected(self, backend):
+        out = backend.map_chunks(_echo_chunk, range(7), chunk_size=3)
+        assert out == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_runs_outside_parent_process(self, backend):
+        if not backend.is_parallel():
+            pytest.skip(f"no pool available: {backend.fallback_reason}")
+        pids = backend.map_chunks(_pid_chunk, range(8), chunk_size=1)
+        assert any(pid != os.getpid() for pid in pids)
+
+    def test_broadcast_context_reaches_workers(self, backend):
+        token = backend.broadcast(1000)
+        out = backend.map_chunks(_add_context_chunk, [1, 2, 3, 4],
+                                 token=token, chunk_size=2)
+        assert [x for c in out for x in c] == [1001, 1002, 1003, 1004]
+
+    def test_worker_exception_propagates(self, backend):
+        with pytest.raises(ValueError, match="boom from worker"):
+            backend.map_chunks(_boom_chunk, range(6), chunk_size=2)
+
+    def test_empty_input(self, backend):
+        assert backend.map_chunks(_square_chunk, []) == []
+
+    def test_close_is_idempotent(self):
+        backend = ProcessBackend(workers=2)
+        backend.map_chunks(_square_chunk, range(4))
+        backend.close()
+        backend.close()
+        # a closed backend can still serve maps (pool is rebuilt lazily)
+        out = backend.map_chunks(_square_chunk, range(4), chunk_size=4)
+        assert out == [[0, 1, 4, 9]]
+        backend.close()
+
+
+class TestWorkCounterMerge:
+    """Per-chunk work merged through the backend equals the serial meter."""
+
+    def test_enumeration_counters_match_serial(self):
+        graph = erdos_renyi(30, 0.3, seed=5)
+        orientation = arb_orient(graph)
+        for k in (2, 3):
+            reference = WorkSpanCounter()
+            expected = list(enumerate_cliques(orientation, k, reference))
+            for backend in (SerialBackend(), ProcessBackend(workers=2),
+                            ProcessBackend(workers=1)):
+                for chunk_size in (None, 1, 7, 1000):
+                    counter = WorkSpanCounter()
+                    with backend:
+                        got = enumerate_cliques_via(backend, orientation, k,
+                                                    counter,
+                                                    chunk_size=chunk_size)
+                    assert got == expected
+                    assert (counter.work, counter.span) == \
+                        (reference.work, reference.span)
+
+
+class TestMakeBackend:
+    def test_none_is_shared_serial(self):
+        assert make_backend(None) is get_default_backend()
+
+    def test_none_with_workers_builds_process(self):
+        backend = make_backend(None, workers=2)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.workers == 2
+        backend.close()
+
+    def test_none_with_one_worker_stays_serial(self):
+        assert make_backend(None, workers=1) is get_default_backend()
+
+    def test_names_resolve(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        backend = make_backend("process", workers=2)
+        assert isinstance(backend, ProcessBackend)
+        backend.close()
+        assert set(BACKEND_NAMES) == {"serial", "process"}
+
+    def test_instance_passes_through(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError):
+            make_backend("gpu")
+
+    def test_backends_are_context_managers(self):
+        with make_backend("serial") as backend:
+            assert isinstance(backend, ExecutionBackend)

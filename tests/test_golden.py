@@ -7,10 +7,20 @@ exactly what moved. The instance is the paper-style nested structure:
 K6 ⊃ shell, separate K4, sparse tail (see tests/conftest.py).
 """
 
+import json
+import os
+
 import pytest
 
 from repro import nucleus_decomposition
+from repro.graphs.datasets import load_dataset
 from repro.graphs.graph import Graph
+
+#: Directory of JSON snapshots for the dataset-registry golden tests.
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: (dataset, scale, r, s) instances pinned as full-decomposition snapshots.
+GOLDEN_CASES = (("amazon", 0.05, 2, 3), ("dblp", 0.05, 2, 3))
 
 
 @pytest.fixture(scope="module")
@@ -100,3 +110,64 @@ class TestGoldenApproximate:
         assert k6_values == {4.0, 5.0}
         assert all(4 <= v <= (3 + 1) * 2 * 4 for v in k6_values)
         assert d.core_of((13, 14)) == 0
+
+
+def _golden_path(name: str, scale: float, r: int, s: int) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}_scale{scale:g}_r{r}_s{s}.json")
+
+
+def decomposition_snapshot(result) -> dict:
+    """JSON-stable snapshot of a full decomposition.
+
+    Covers the coreness array verbatim plus the hierarchy's partition
+    chain (the level-by-level nucleus partitions), so any behavioural
+    drift -- peeling order, bucket handling, tree construction -- shows
+    up as a named diff.
+    """
+    chain = result.tree.partition_chain()
+    return {
+        "n": result.graph.n,
+        "m": result.graph.m,
+        "n_r": result.n_r,
+        "n_s": result.n_s,
+        "rho": result.rho,
+        "k_max": result.max_core,
+        "coreness": list(result.core),
+        "hierarchy_levels": [float(v) for v in result.hierarchy_levels()],
+        "partition_chain": {
+            f"{level:g}": sorted(sorted(int(rid) for rid in group)
+                                 for group in groups)
+            for level, groups in chain.items()},
+    }
+
+
+class TestGoldenDatasets:
+    """Snapshots of two dataset-registry graphs, checked on both backends.
+
+    After an *intentional* behaviour change, regenerate with::
+
+        REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden.py
+    """
+
+    @pytest.mark.parametrize("name,scale,r,s", GOLDEN_CASES)
+    def test_serial_matches_snapshot(self, name, scale, r, s):
+        graph = load_dataset(name, scale=scale)
+        snap = decomposition_snapshot(nucleus_decomposition(graph, r, s))
+        path = _golden_path(name, scale, r, s)
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            os.makedirs(GOLDEN_DIR, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(snap, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+        with open(path, encoding="utf-8") as handle:
+            expected = json.load(handle)
+        assert snap == expected
+
+    @pytest.mark.parametrize("name,scale,r,s", GOLDEN_CASES)
+    def test_process_backend_matches_snapshot(self, name, scale, r, s):
+        graph = load_dataset(name, scale=scale)
+        result = nucleus_decomposition(graph, r, s, backend="process",
+                                       workers=2)
+        with open(_golden_path(name, scale, r, s), encoding="utf-8") as handle:
+            expected = json.load(handle)
+        assert decomposition_snapshot(result) == expected
