@@ -4,8 +4,13 @@ Not a paper figure -- these isolate two choices the paper discusses in
 prose:
 
 1. **Incidence strategy** (Section 7.4 / Theorem 5.1 footnote): storing
-   the s-clique incidence (space ~ n_s) vs re-enumerating s-cliques on
-   demand (space ~ n_r). Reports time and memory for both.
+   the s-clique incidence (space ~ n_s) as Python dicts/lists vs
+   re-enumerating s-cliques on demand (space ~ n_r) vs the same
+   materialized data in flat numpy CSR arrays (the paper artifact's
+   layout, with the vectorized peeling kernel). Reports time and memory
+   for all three. The structural equality asserted here is additionally
+   pinned by ``tests/test_incidence_equivalence.py`` in the tier-1
+   suite.
 2. **Round cap in Algorithm 2** (lines 17-19): the per-bucket round budget
    trades peeling rounds (span) against promotion-induced over-estimates.
    Sweeps the cap and reports rounds + error.
@@ -20,7 +25,8 @@ from repro.analysis.reporting import banner, format_table
 from repro.core.approx import peel_approx
 from repro.core.nucleus import peel_exact, prepare
 
-from bench_common import bench_graph, kernel_graph, timed
+from bench_common import (bench_graph, bench_row, emit_json, kernel_graph,
+                          timed)
 
 RS = ((2, 3), (2, 4), (3, 4))
 
@@ -29,18 +35,34 @@ def run_strategy_ablation(graph=None, rs_values=RS):
     graph = graph if graph is not None else bench_graph("dblp")
     rows = []
     for r, s in rs_values:
-        mat_prep = timed(lambda: prepare(graph, r, s,
-                                         strategy="materialized"))
-        mat_peel = timed(lambda: peel_exact(mat_prep.payload.incidence))
-        ree_prep = timed(lambda: prepare(graph, r, s, strategy="reenum"))
-        ree_peel = timed(lambda: peel_exact(ree_prep.payload.incidence))
-        assert mat_peel.payload.core == ree_peel.payload.core
+        runs = {}
+        for strategy in ("materialized", "reenum", "csr"):
+            prep = timed(lambda: prepare(graph, r, s, strategy=strategy))
+            peel = timed(lambda: peel_exact(prep.payload.incidence))
+            runs[strategy] = (prep, peel)
+        reference = runs["materialized"][1].payload.core
+        for strategy, (_, peel) in runs.items():
+            assert peel.payload.core == reference, (r, s, strategy)
         rows.append((f"({r},{s})",
-                     mat_prep.seconds + mat_peel.seconds,
-                     ree_prep.seconds + ree_peel.seconds,
-                     mat_prep.payload.incidence.memory_units(),
-                     ree_prep.payload.incidence.memory_units()))
+                     *(runs[k][0].seconds + runs[k][1].seconds
+                       for k in ("materialized", "reenum", "csr")),
+                     *(runs[k][0].payload.incidence.memory_units()
+                       for k in ("materialized", "reenum", "csr"))))
     return rows
+
+
+def strategy_json_rows(graph_name: str, rows):
+    """The strategy ablation in the uniform json row schema."""
+    out = []
+    for label, t_mat, t_ree, t_csr, mem_mat, mem_ree, mem_csr in rows:
+        r, s = (int(x) for x in label.strip("()").split(","))
+        for strategy, seconds, memory in (("materialized", t_mat, mem_mat),
+                                          ("reenum", t_ree, mem_ree),
+                                          ("csr", t_csr, mem_csr)):
+            out.append(bench_row(graph_name, r, s, seconds, stage="total",
+                                 strategy=strategy, backend="serial",
+                                 workers=1, memory_units=memory))
+    return out
 
 
 def run_round_cap_ablation(graph=None, r: int = 2, s: int = 3,
@@ -60,13 +82,15 @@ def run_round_cap_ablation(graph=None, r: int = 2, s: int = 3,
     return rows
 
 
-def build_report() -> str:
+def build_report(strategy_rows=None) -> str:
+    if strategy_rows is None:
+        strategy_rows = run_strategy_ablation()
     strategy = format_table(
-        ("(r,s)", "materialized s", "reenum s", "materialized ints",
-         "reenum ints"),
-        run_strategy_ablation(),
-        title="Ablation A: materialized vs re-enumerated s-clique incidence "
-              "(dblp)")
+        ("(r,s)", "materialized s", "reenum s", "csr s",
+         "materialized ints", "reenum ints", "csr ints"),
+        strategy_rows,
+        title="Ablation A: materialized (dict) vs re-enumerated vs CSR "
+              "s-clique incidence (dblp)")
     cap = format_table(
         ("round cap", "peel rounds", "promotions", "median err", "max err"),
         run_round_cap_ablation(),
@@ -85,8 +109,9 @@ def build_report() -> str:
 def test_ablation_strategy_tradeoff():
     rows = run_strategy_ablation(kernel_graph("dblp"), rs_values=((2, 3),))
     print(rows)
-    for label, t_mat, t_ree, mem_mat, mem_ree in rows:
-        assert mem_mat > mem_ree  # the space tradeoff is real
+    for label, t_mat, t_ree, t_csr, mem_mat, mem_ree, mem_csr in rows:
+        assert mem_mat > mem_ree   # the space tradeoff is real
+        assert mem_csr == mem_mat  # csr is the same data, flat layout
 
 
 def test_ablation_round_cap_monotone():
@@ -134,5 +159,21 @@ def test_ablation_bucketing_equivalence():
     assert rows  # cores already asserted equal inside the runner
 
 
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true",
+                        help="also write BENCH_ablation.json at the repo "
+                             "root (strategy ablation rows)")
+    args = parser.parse_args(argv)
+    strategy_rows = run_strategy_ablation()
+    print(build_report(strategy_rows))
+    if args.json:
+        path = emit_json("ablation", strategy_json_rows("dblp",
+                                                        strategy_rows))
+        print(f"\nwrote {path}")
+    return 0
+
+
 if __name__ == "__main__":
-    print(build_report())
+    raise SystemExit(main())

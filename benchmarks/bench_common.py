@@ -19,7 +19,9 @@ and a pytest-benchmark target (kernels named ``test_benchmark_*``).
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import time
 from dataclasses import dataclass
 from math import comb
@@ -106,3 +108,65 @@ def prepare_cached(cache: Dict, graph: Graph, r: int, s: int,
     if key not in cache:
         cache[key] = prepare(graph, r, s, strategy=strategy)
     return cache[key]
+
+
+# -- machine-readable result emission ---------------------------------------
+
+def repo_root() -> str:
+    """The repository root (parent of this benchmarks/ directory)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def bench_row(graph: str, r: int, s: int, seconds: Optional[float],
+              **extra) -> Dict:
+    """One uniform result row for :func:`emit_json`.
+
+    ``seconds`` of :data:`SKIPPED` (or ``None``) marks a budget-skipped
+    configuration; common optional fields by convention: ``work``,
+    ``rho``, ``strategy``, ``kernel``, ``backend``, ``workers``,
+    ``stage``, ``method``, ``speedup``.
+    """
+    skipped = seconds is None or seconds == SKIPPED
+    row = {"graph": graph, "r": r, "s": s,
+           "seconds": None if skipped else float(seconds),
+           "skipped": skipped}
+    row.update(extra)
+    return row
+
+
+def _json_safe(value):
+    """Strict-JSON scrub: non-finite floats become ``None``."""
+    if isinstance(value, float) and (value != value or value in
+                                     (float("inf"), float("-inf"))):
+        return None
+    return value
+
+
+def emit_json(name: str, rows: List[Dict],
+              path: Optional[str] = None, **config) -> str:
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path.
+
+    The payload records the run configuration (scale/budget knobs,
+    platform) next to the uniform rows so results from different
+    machines or scales are never silently compared. Non-finite timings
+    are nulled (strict JSON has no ``Infinity``).
+    """
+    payload = {
+        "benchmark": name,
+        "config": {
+            "scale": BENCH_SCALE,
+            "budget": BENCH_BUDGET,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            **config,
+        },
+        "rows": [{k: _json_safe(v) for k, v in row.items()}
+                 for row in rows],
+    }
+    path = path if path is not None else os.path.join(
+        repo_root(), f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True,
+                  allow_nan=False)
+        handle.write("\n")
+    return path

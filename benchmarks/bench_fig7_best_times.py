@@ -6,21 +6,35 @@ practice -- Section 8.1) and reports each configuration's slowdown over
 the per-graph fastest, exactly like Figure 7's bars. Configurations whose
 estimated work exceeds the budget are reported as OOM/timeout, mirroring
 the paper's omitted bars (its friendster and large-(r,s) cases).
+
+``--json`` additionally writes ``BENCH_fig7.json`` at the repo root: the
+grid rows plus a dict-vs-CSR peeling comparison (the flat-array layout +
+vectorized kernel against the Python dict/list path, same coreness
+asserted) in the uniform :func:`bench_common.bench_row` schema.
 """
 
 from __future__ import annotations
 
+import argparse
 from typing import Dict
 
 from repro import nucleus_decomposition
 from repro.analysis.reporting import banner, format_table
 from repro.core.api import choose_method
+from repro.core.nucleus import peel_exact, prepare
+from repro.parallel.counters import WorkSpanCounter
 
-from bench_common import (SKIPPED, bench_graph, guarded, kernel_graph,
-                          rs_grid)
+from bench_common import (SKIPPED, bench_graph, bench_row, emit_json,
+                          guarded, kernel_graph, rs_grid, timed,
+                          within_budget)
 
 GRAPHS = ("amazon", "dblp", "youtube", "skitter", "livejournal", "orkut",
           "friendster")
+
+#: (graph, r, s) configurations for the dict-vs-CSR peel comparison --
+#: the Figure 7 graphs with clique-rich structure at stand-in scale.
+PEEL_COMPARISON = (("amazon", 2, 3), ("dblp", 2, 3), ("dblp", 2, 4),
+                   ("youtube", 2, 3), ("orkut", 3, 4))
 
 
 def run_grid(graph_names=GRAPHS, max_s: int = 7):
@@ -61,6 +75,56 @@ def build_report(rows=None) -> str:
     return banner("Figure 7") + "\n" + table + "\n" + fastest_lines
 
 
+def run_peel_comparison(configs=PEEL_COMPARISON, repeats: int = 3):
+    """Dict/list peeling vs CSR + vectorized kernel, same coreness.
+
+    Returns uniform json rows: one per (config, strategy) with the best
+    of ``repeats`` peel wall-clocks, metered work, and rho, plus the
+    measured speedup on the CSR rows.
+    """
+    rows = []
+    for name, r, s in configs:
+        graph = bench_graph(name)
+        if not within_budget(graph, r, s):
+            rows.append(bench_row(name, r, s, None, stage="peel"))
+            continue
+        timings = {}
+        results = {}
+        for strategy in ("materialized", "csr"):
+            prepared = prepare(graph, r, s, strategy=strategy)
+            best = None
+            for _ in range(repeats):
+                counter = WorkSpanCounter()
+                run = timed(lambda: peel_exact(prepared.incidence,
+                                               counter=counter))
+                if best is None or run.seconds < best.seconds:
+                    best = run
+            timings[strategy] = best
+            results[strategy] = best.payload
+        assert results["csr"].core == results["materialized"].core, \
+            (name, r, s)
+        assert results["csr"].rho == results["materialized"].rho
+        dict_seconds = timings["materialized"].seconds
+        for strategy in ("materialized", "csr"):
+            result = results[strategy]
+            rows.append(bench_row(
+                name, r, s, timings[strategy].seconds,
+                stage="peel", strategy=strategy,
+                kernel="vectorized" if strategy == "csr" else "loop",
+                backend="serial", workers=1,
+                work=result.work_span.work, rho=result.rho,
+                speedup=round(dict_seconds / timings[strategy].seconds, 2)))
+    return rows
+
+
+def grid_json_rows(rows):
+    """The Figure 7 grid in the uniform json row schema."""
+    return [bench_row(name, r, s, seconds, stage="total",
+                      strategy="materialized", backend="serial", workers=1,
+                      method=choose_method(r, s))
+            for name, r, s, seconds in rows]
+
+
 def test_fig7_report():
     rows = run_grid(graph_names=("amazon", "dblp"), max_s=5)
     print(build_report(rows))
@@ -78,5 +142,33 @@ def test_benchmark_auto_method_kernel(benchmark):
     benchmark(lambda: nucleus_decomposition(graph, 2, 4))
 
 
+def test_peel_comparison_rows():
+    rows = run_peel_comparison(configs=(("dblp", 2, 3),), repeats=1)
+    finished = [row for row in rows if not row["skipped"]]
+    assert finished, "budget guard skipped the comparison"
+    by_strategy = {row["strategy"]: row for row in finished}
+    assert by_strategy["csr"]["work"] == by_strategy["materialized"]["work"]
+    assert by_strategy["csr"]["rho"] == by_strategy["materialized"]["rho"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true",
+                        help="also write BENCH_fig7.json at the repo root")
+    args = parser.parse_args(argv)
+    rows = run_grid()
+    print(build_report(rows))
+    if args.json:
+        comparison = run_peel_comparison()
+        path = emit_json("fig7", grid_json_rows(rows) + comparison)
+        print(f"\nwrote {path}")
+        finished = [row for row in comparison
+                    if not row["skipped"] and row["strategy"] == "csr"]
+        for row in finished:
+            print(f"  peel {row['graph']} ({row['r']},{row['s']}): "
+                  f"csr {row['seconds']:.4f}s, {row['speedup']}x vs dict")
+    return 0
+
+
 if __name__ == "__main__":
-    print(build_report())
+    raise SystemExit(main())

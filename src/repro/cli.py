@@ -26,7 +26,9 @@ from typing import List, Optional
 
 from . import __version__
 from .analysis.reporting import format_table
+from .cliques.incidence import INCIDENCE_STRATEGIES
 from .core.api import EXACT_METHODS, nucleus_decomposition
+from .core.nucleus import KERNEL_NAMES
 from .parallel.backend import BACKEND_NAMES
 from .core.queries import HierarchyQueryIndex, hierarchy_statistics
 from .errors import ReproError
@@ -54,9 +56,14 @@ def _add_decomposition_arguments(parser: argparse.ArgumentParser) -> None:
                         help="use APPROX-ARB-NUCLEUS (Algorithm 2)")
     parser.add_argument("--delta", type=float, default=0.5,
                         help="approximation parameter (default 0.5)")
-    parser.add_argument("--strategy", default="materialized",
-                        choices=("materialized", "reenum"),
-                        help="s-clique incidence strategy")
+    parser.add_argument("--strategy", "--incidence", default="materialized",
+                        choices=INCIDENCE_STRATEGIES, dest="strategy",
+                        help="s-clique incidence strategy: 'materialized' "
+                             "(dict/list), 'reenum' (space-lean), or 'csr' "
+                             "(flat numpy arrays + vectorized peeling)")
+    parser.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
+                        help="peeling kernel: 'auto' (vectorized on csr, "
+                             "loop otherwise), 'vectorized', or 'loop'")
     parser.add_argument("--backend", default="serial",
                         choices=BACKEND_NAMES,
                         help="execution backend: 'serial' (instrumented "
@@ -82,7 +89,8 @@ def _decompose(args: argparse.Namespace):
         graph, args.r, args.s, method=args.method, approx=args.approx,
         delta=args.delta, strategy=args.strategy,
         backend=getattr(args, "backend", "serial"),
-        workers=getattr(args, "workers", None))
+        workers=getattr(args, "workers", None),
+        kernel=getattr(args, "kernel", "auto"))
 
 
 def cmd_decompose(args: argparse.Namespace, out) -> int:

@@ -1,0 +1,206 @@
+"""Array-native s-clique incidence in CSR layout.
+
+:class:`CSRIncidence` is the flat-array sibling of
+:class:`~repro.cliques.incidence.MaterializedIncidence`: the same data --
+every s-clique's member r-clique ids plus the per-r-clique postings --
+held in ``numpy`` int64 arrays instead of Python tuples and lists. This
+is the layout the paper's C++ artifact keeps (flat parallel arrays over
+clique ids, Shi et al., SIGMOD 2024) and what the vectorized peeling
+kernel (:mod:`repro.core.peel_csr`) scatters through with
+``np.bincount``/fancy indexing.
+
+Layout
+------
+``member_array``
+    ``(n_s, s_choose_r)`` -- row ``sid`` holds the member r-clique ids of
+    s-clique ``sid``, in :func:`itertools.combinations` order (identical
+    to ``MaterializedIncidence.members(sid)``).
+``posting_indptr`` / ``posting_indices``
+    CSR postings: the s-clique ids containing r-clique ``rid`` are
+    ``posting_indices[posting_indptr[rid]:posting_indptr[rid + 1]]``, in
+    ascending sid order (identical to the streaming append order of the
+    dict/list path).
+``degree_array``
+    ``posting_indptr[rid + 1] - posting_indptr[rid]`` -- the initial
+    s-clique degrees, precomputed.
+
+Construction consumes the existing chunked enumeration (serial generator
+or :class:`~repro.parallel.backend.ExecutionBackend` fan-out), charges the
+same work/span meters as the dict path, and produces ids/sids in exactly
+the same order -- the differential suites pin byte-identical coreness and
+identical hierarchy partition chains against ``MaterializedIncidence``.
+
+The class also implements the
+:class:`~repro.parallel.backend.ShareableContext` protocol, so a
+:class:`~repro.parallel.backend.ProcessBackend` broadcast ships the four
+arrays through ``multiprocessing.shared_memory`` (zero-copy, once per
+pool) instead of pickling them per pool.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from itertools import combinations
+from math import comb
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..parallel.backend import ExecutionBackend
+from ..parallel.counters import NullCounter, WorkSpanCounter, log2_ceil
+from ..graphs.graph import Graph
+from ..graphs.orientation import Orientation
+from .enumeration import enumerate_cliques
+from .index import CliqueIndex
+
+MemberTuple = Tuple[int, ...]
+
+
+def member_id_array(index: CliqueIndex, s_cliques, s: int) -> np.ndarray:
+    """Member-id rows for canonical s-clique vertex tuples, vectorized.
+
+    Column ``j`` of the result is the id of the ``j``-th
+    ``combinations(clique, r)`` subset -- each subset of a sorted tuple is
+    itself sorted, so one :meth:`CliqueIndex.ids_of` bulk lookup per
+    column pattern replaces ``n_s * s_choose_r`` dict probes.
+    """
+    r = index.r
+    k = comb(s, r)
+    n_s = len(s_cliques)
+    out = np.empty((n_s, k), dtype=np.int64)
+    if n_s == 0:
+        return out
+    verts = np.asarray(s_cliques, dtype=np.int64)
+    for j, cols in enumerate(combinations(range(s), r)):
+        out[:, j] = index.ids_of(verts[:, cols])
+    return out
+
+
+def _postings_csr(members: np.ndarray,
+                  n_r: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build ``(indptr, indices, degrees)`` from the member-id rows.
+
+    A stable argsort of the row-major flattened members groups postings
+    by rid while preserving ascending sid order within each rid -- the
+    exact order the streaming dict path appends them in.
+    """
+    n_s, k = members.shape
+    flat = members.ravel()
+    degrees = np.bincount(flat, minlength=n_r).astype(np.int64) \
+        if flat.size else np.zeros(n_r, dtype=np.int64)
+    indptr = np.zeros(n_r + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    order = np.argsort(flat, kind="stable")
+    indices = order // max(k, 1)
+    return indptr, indices.astype(np.int64, copy=False), degrees
+
+
+class CSRIncidence:
+    """Incidence with all s-cliques stored in flat CSR numpy arrays."""
+
+    strategy = "csr"
+
+    def __init__(self, graph: Graph, orientation: Orientation,
+                 index: CliqueIndex, s: int,
+                 counter: Optional[WorkSpanCounter] = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        from .incidence import _members_chunk, _use_pool, validate_rs
+        counter = counter if counter is not None else NullCounter()
+        validate_rs(index.r, s)
+        self.graph = graph
+        self.orientation = orientation
+        self.index = index
+        self.r = index.r
+        self.s = s
+        self.s_choose_r = comb(s, index.r)
+        n_r = len(index)
+        if _use_pool(backend):
+            # Same fan-out as MaterializedIncidence: per-vertex s-clique
+            # listing + member-id computation in workers, walked in
+            # vertex-major chunk order so sids match the streaming path.
+            token = backend.broadcast((orientation, index))
+            results = backend.map_chunks(partial(_members_chunk, s=s),
+                                         range(graph.n), token=token,
+                                         chunk_size=chunk_size)
+            enum_work = 0
+            rows: List[MemberTuple] = []
+            for chunk_members, chunk_work in results:
+                enum_work += chunk_work
+                rows.extend(chunk_members)
+            counter.add_parallel(max(enum_work, 1),
+                                 s + log2_ceil(max(graph.n, 1)))
+            members = np.asarray(rows, dtype=np.int64).reshape(
+                len(rows), self.s_choose_r)
+        else:
+            s_cliques = list(enumerate_cliques(orientation, s, counter))
+            members = member_id_array(index, s_cliques, s)
+        self.member_array = members
+        self.posting_indptr, self.posting_indices, self.degree_array = \
+            _postings_csr(members, n_r)
+        counter.add_parallel(members.shape[0] * self.s_choose_r + 1,
+                             1 + log2_ceil(max(members.shape[0], 1)))
+
+    # -- MaterializedIncidence-compatible interface -----------------------
+
+    @property
+    def n_r(self) -> int:
+        return int(self.posting_indptr.shape[0] - 1)
+
+    @property
+    def n_s(self) -> int:
+        return int(self.member_array.shape[0])
+
+    def initial_degrees(self) -> List[int]:
+        return self.degree_array.tolist()
+
+    def members(self, sid: int) -> MemberTuple:
+        """Member r-clique ids of s-clique ``sid``."""
+        return tuple(self.member_array[sid].tolist())
+
+    def s_clique_ids_of(self, rid: int) -> Tuple[int, ...]:
+        """Ids of the s-cliques containing r-clique ``rid``."""
+        lo, hi = self.posting_indptr[rid], self.posting_indptr[rid + 1]
+        return tuple(self.posting_indices[lo:hi].tolist())
+
+    def s_cliques_containing(self, rid: int) -> Iterator[MemberTuple]:
+        """Member tuples of every s-clique containing ``rid``."""
+        lo, hi = self.posting_indptr[rid], self.posting_indptr[rid + 1]
+        for row in self.member_array[self.posting_indices[lo:hi]].tolist():
+            yield tuple(row)
+
+    def iter_s_cliques(self) -> Iterator[MemberTuple]:
+        """All s-cliques as member-id tuples (Algorithm 1, line 6)."""
+        return (tuple(row) for row in self.member_array.tolist())
+
+    def memory_units(self) -> int:
+        """Integers held (the memory-overhead proxy used by Section 8.1)."""
+        return int(self.member_array.size + self.posting_indices.size)
+
+    # -- ShareableContext protocol ----------------------------------------
+
+    def __shm_export__(self):
+        """(meta, arrays) for zero-copy process broadcast.
+
+        The worker-side reconstruction is a peeling-capable view: it has
+        the arrays and the (r, s) parameters but not the graph,
+        orientation, or index -- none of which the parallel gather path
+        (:func:`repro.core.nucleus._gather_chunk`) touches.
+        """
+        meta = {"r": self.r, "s": self.s}
+        arrays = (self.member_array, self.posting_indptr,
+                  self.posting_indices, self.degree_array)
+        return meta, arrays
+
+    @classmethod
+    def __shm_import__(cls, meta, arrays) -> "CSRIncidence":
+        self = cls.__new__(cls)
+        self.graph = None
+        self.orientation = None
+        self.index = None
+        self.r = meta["r"]
+        self.s = meta["s"]
+        self.s_choose_r = comb(meta["s"], meta["r"])
+        (self.member_array, self.posting_indptr,
+         self.posting_indices, self.degree_array) = arrays
+        return self

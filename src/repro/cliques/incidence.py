@@ -18,6 +18,12 @@ Two strategies are provided behind one interface:
   neighborhood of its vertices -- the space-lean alternative the paper's
   practical sections discuss. Same results, different time/space tradeoff
   (compared head-to-head in ``benchmarks/bench_ablation.py``).
+
+A third strategy, ``"csr"``, lives in :mod:`repro.cliques.csr`: the same
+data as :class:`MaterializedIncidence` in flat numpy CSR arrays (the
+paper artifact's layout), enabling the vectorized peeling kernel and
+zero-copy process broadcast. All three are interchangeable behind
+:func:`build_incidence` and produce identical decompositions.
 """
 
 from __future__ import annotations
@@ -37,6 +43,10 @@ from .enumeration import (Clique, cliques_containing, cliques_of_vertices,
 from .index import CliqueIndex
 
 MemberTuple = Tuple[int, ...]
+
+#: Incidence strategies accepted by :func:`build_incidence` (and the
+#: CLI's ``--strategy`` / ``--incidence`` flag).
+INCIDENCE_STRATEGIES = ("materialized", "reenum", "csr")
 
 
 def _use_pool(backend: Optional[ExecutionBackend]) -> bool:
@@ -270,8 +280,12 @@ def build_incidence(graph: Graph, r: int, s: int,
     elif strategy == "reenum":
         incidence = ReEnumIncidence(graph, orientation, index, s, counter,
                                     backend=backend, chunk_size=chunk_size)
+    elif strategy == "csr":
+        from .csr import CSRIncidence
+        incidence = CSRIncidence(graph, orientation, index, s, counter,
+                                 backend=backend, chunk_size=chunk_size)
     else:
         raise ParameterError(
             f"unknown incidence strategy {strategy!r}; "
-            f"expected 'materialized' or 'reenum'")
+            f"expected one of {INCIDENCE_STRATEGIES}")
     return orientation, index, incidence

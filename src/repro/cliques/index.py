@@ -21,18 +21,45 @@ from ..graphs.orientation import Orientation
 from .enumeration import Clique, enumerate_cliques
 
 
+def _is_sorted_unique(cliques: List[Clique]) -> bool:
+    """O(n) check that ``cliques`` is strictly increasing canonical tuples.
+
+    Canonical means every tuple is itself sorted; strict tuple ordering
+    then implies both sortedness and uniqueness of the whole list, which
+    is exactly what the constructor's ``sorted(set(...))`` would produce.
+    """
+    prev: Optional[Clique] = None
+    for c in cliques:
+        if any(c[i] > c[i + 1] for i in range(len(c) - 1)):
+            return False
+        if prev is not None and c <= prev:
+            return False
+        prev = c
+    return True
+
+
 class CliqueIndex:
     """Bijection between canonical r-clique tuples and ids ``0..n_r-1``.
 
     Ids follow the sorted order of the canonical tuples so the mapping is
     deterministic across runs and platforms.
+
+    Construction verifies sortedness in O(n) first and only falls back to
+    the O(n log n) canonicalizing sort when the input is not already a
+    strictly increasing sequence of canonical tuples -- chunked
+    enumeration pipelines that pre-sort their output (``list_cliques``)
+    therefore skip the redundant re-sort entirely.
     """
 
-    __slots__ = ("r", "_cliques", "_ids")
+    __slots__ = ("r", "_cliques", "_ids", "_encoded")
 
     def __init__(self, cliques: Iterable[Clique], r: Optional[int] = None) -> None:
-        self._cliques: List[Clique] = sorted(
-            {tuple(sorted(c)) for c in cliques})
+        as_tuples = [tuple(c) for c in cliques]
+        if _is_sorted_unique(as_tuples):
+            self._cliques: List[Clique] = as_tuples
+        else:
+            self._cliques = sorted({tuple(sorted(c)) for c in as_tuples})
+        self._encoded = None  # lazy int64 key table for bulk lookups
         if self._cliques:
             sizes = {len(c) for c in self._cliques}
             if len(sizes) != 1:
@@ -84,6 +111,72 @@ class CliqueIndex:
         if key not in self._ids:
             raise DataStructureError(f"clique {key} is not in the index")
         return self._ids[key]
+
+    # -- bulk (vectorized) lookup -----------------------------------------
+
+    def _encoding(self):
+        """Lazily built ``(sorted int64 key array, stride)`` or ``None``.
+
+        Each canonical tuple is encoded as a base-``stride`` integer;
+        because all tuples have length ``r`` and digits below ``stride``,
+        numeric order equals lexicographic tuple order, so the key array
+        is sorted and ``searchsorted`` positions *are* clique ids. When
+        ``stride ** r`` would overflow int64 the table is unusable and
+        ``ids_of`` falls back to per-row dict lookups.
+        """
+        if self._encoded is None:
+            import numpy as np
+            if not self._cliques:
+                self._encoded = (None, 0)
+            else:
+                stride = max(v for c in self._cliques for v in c) + 1
+                if self.r * max(stride - 1, 1).bit_length() >= 63:
+                    self._encoded = (None, 0)
+                else:
+                    arr = np.asarray(self._cliques, dtype=np.int64)
+                    keys = arr[:, 0].copy()
+                    for col in range(1, self.r):
+                        keys *= stride
+                        keys += arr[:, col]
+                    self._encoded = (keys, stride)
+        return self._encoded
+
+    def ids_of(self, cliques) -> "object":
+        """Vectorized :meth:`id_of`: an (m, r) array of rows -> id array.
+
+        Rows are canonicalized (sorted along axis 1) before lookup, so
+        any vertex order is accepted, exactly like :meth:`id_of`. Raises
+        :class:`DataStructureError` naming the first missing row.
+        """
+        import numpy as np
+        arr = np.asarray(cliques, dtype=np.int64)
+        if arr.ndim != 2 or (arr.size and arr.shape[1] != self.r):
+            raise ParameterError(
+                f"ids_of expects an (m, {self.r}) array, got shape "
+                f"{arr.shape}")
+        if arr.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        arr = np.sort(arr, axis=1)
+        keys, stride = self._encoding()
+        if keys is None:
+            return np.fromiter((self.id_of(row) for row in arr.tolist()),
+                               dtype=np.int64, count=arr.shape[0])
+        if arr.min() < 0 or arr.max() >= stride:
+            bad = arr[((arr < 0) | (arr >= stride)).any(axis=1)][0]
+            raise DataStructureError(
+                f"clique {tuple(bad.tolist())} is not in the index")
+        query = arr[:, 0].copy()
+        for col in range(1, self.r):
+            query *= stride
+            query += arr[:, col]
+        pos = np.searchsorted(keys, query)
+        pos = np.minimum(pos, len(keys) - 1)
+        misses = keys[pos] != query
+        if misses.any():
+            bad = arr[misses][0]
+            raise DataStructureError(
+                f"clique {tuple(bad.tolist())} is not in the index")
+        return pos
 
     def get(self, clique: Sequence[int]) -> Optional[int]:
         """Id of the clique, or ``None`` if absent."""

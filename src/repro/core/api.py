@@ -60,7 +60,8 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
                           counter: Optional[WorkSpanCounter] = None,
                           seed: int = 0,
                           backend=None,
-                          workers: Optional[int] = None) -> NucleusDecomposition:
+                          workers: Optional[int] = None,
+                          kernel: str = "auto") -> NucleusDecomposition:
     """Compute the (r, s) nucleus decomposition of ``graph``.
 
     Parameters
@@ -80,7 +81,10 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
         Use the approximate peeling (Algorithm 2) with parameter ``delta``.
     strategy:
         s-clique incidence strategy: ``"materialized"`` (space ~ n_s,
-        the default) or ``"reenum"`` (space ~ n_r, recompute on demand).
+        the default), ``"reenum"`` (space ~ n_r, recompute on demand),
+        or ``"csr"`` (the materialized data in flat numpy CSR arrays,
+        enabling the vectorized peeling kernel and zero-copy process
+        broadcast).
     counter:
         Optional work-span counter; a fresh one is used if omitted.
     seed:
@@ -96,6 +100,12 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
     workers:
         Worker-process count for the process backend; ``workers >= 2``
         with ``backend=None`` implies ``backend="process"``.
+    kernel:
+        Peeling kernel selector (see
+        :func:`~repro.core.nucleus.peel_exact`): ``"auto"`` (vectorized
+        array kernel on CSR incidences, scalar loop otherwise),
+        ``"vectorized"``, or ``"loop"``. Results are identical for every
+        kernel.
     """
     if method == "auto":
         method = choose_method(r, s)
@@ -121,7 +131,7 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
                                        counter=counter)
             else:
                 coreness = peel_exact(prepared.incidence, counter=counter,
-                                      backend=exec_backend)
+                                      backend=exec_backend, kernel=kernel)
             result = NucleusDecomposition(
                 graph=graph, r=r, s=s, method="coreness-only",
                 index=prepared.index, coreness=coreness, tree=None,
@@ -129,7 +139,7 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
                 approx_delta=delta if approx else None)
         else:
             run = _run_hierarchy(graph, r, s, method, approx, delta, prepared,
-                                 counter, seed, exec_backend)
+                                 counter, seed, exec_backend, kernel)
             result = NucleusDecomposition(
                 graph=graph, r=r, s=s, method=method,
                 index=prepared.index, coreness=run.coreness, tree=run.tree,
@@ -146,7 +156,8 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
 
 def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
                    delta: float, prepared, counter: WorkSpanCounter,
-                   seed: int, backend=None) -> InterleavedResult:
+                   seed: int, backend=None,
+                   kernel: str = "auto") -> InterleavedResult:
     if approx:
         if method == "anh-el":
             return approx_anh_el(graph, r, s, delta=delta, prepared=prepared,
@@ -165,14 +176,14 @@ def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
             f"anh-el / anh-bl / anh-te / anh-te-theory")
     if method == "anh-el":
         return anh_el(graph, r, s, prepared=prepared, counter=counter,
-                      seed=seed, backend=backend)
+                      seed=seed, backend=backend, kernel=kernel)
     if method == "anh-bl":
         return anh_bl(graph, r, s, prepared=prepared, counter=counter,
-                      seed=seed, backend=backend)
+                      seed=seed, backend=backend, kernel=kernel)
     if method == "anh-te":
         return hierarchy_te_practical(graph, r, s, prepared=prepared,
                                       counter=counter, seed=seed,
-                                      backend=backend)
+                                      backend=backend, kernel=kernel)
     if method == "anh-te-theory":
         return hierarchy_te_theoretical(graph, r, s, prepared=prepared,
                                         counter=counter)
@@ -183,7 +194,7 @@ def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
     # method == "naive"
     from ..baselines.naive_hierarchy import naive_hierarchy
     coreness = peel_exact(prepared.incidence, counter=counter,
-                          backend=backend)
+                          backend=backend, kernel=kernel)
     tree = naive_hierarchy(prepared.incidence, coreness.core, counter=counter)
     return InterleavedResult(coreness, tree, dict(coreness.stats))
 

@@ -69,7 +69,8 @@ def anh_el(graph: Graph, r: int, s: int,
            counter: Optional[WorkSpanCounter] = None,
            prepared: Optional[NucleusInput] = None,
            seed: int = 0,
-           backend: Optional[ExecutionBackend] = None) -> InterleavedResult:
+           backend: Optional[ExecutionBackend] = None,
+           kernel: str = "auto") -> InterleavedResult:
     """ANH-EL: interleaved framework with ``LINK-EFFICIENT`` (Algorithm 5)."""
     counter = counter if counter is not None else WorkSpanCounter()
     if prepared is None:
@@ -77,7 +78,8 @@ def anh_el(graph: Graph, r: int, s: int,
                            backend=backend)
     return run_interleaved(prepared,
                            lambda core: LinkEfficient(core, seed=seed),
-                           counter, peel=partial(peel_exact, backend=backend))
+                           counter, peel=partial(peel_exact, backend=backend,
+                                                 kernel=kernel))
 
 
 def anh_bl(graph: Graph, r: int, s: int,
@@ -85,7 +87,8 @@ def anh_bl(graph: Graph, r: int, s: int,
            counter: Optional[WorkSpanCounter] = None,
            prepared: Optional[NucleusInput] = None,
            seed: int = 0,
-           backend: Optional[ExecutionBackend] = None) -> InterleavedResult:
+           backend: Optional[ExecutionBackend] = None,
+           kernel: str = "auto") -> InterleavedResult:
     """ANH-BL: interleaved framework with ``LINK-BASIC`` (Algorithm 4).
 
     The per-level union-finds need the level universe up front; for the
@@ -105,4 +108,5 @@ def anh_bl(graph: Graph, r: int, s: int,
         return LinkBasic(core, levels=levels, seed=seed)
 
     return run_interleaved(prepared, make, counter,
-                           peel=partial(peel_exact, backend=backend))
+                           peel=partial(peel_exact, backend=backend,
+                                        kernel=kernel))

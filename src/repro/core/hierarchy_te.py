@@ -280,7 +280,8 @@ def hierarchy_te_practical(graph: Graph, r: int, s: int,
                            prepared: Optional[NucleusInput] = None,
                            coreness: Optional[CorenessResult] = None,
                            seed: int = 0,
-                           backend=None) -> InterleavedResult:
+                           backend=None,
+                           kernel: str = "auto") -> InterleavedResult:
     """Section 7.4 ANH-TE: single union-find over core-sorted r-cliques.
 
     After the coreness pass, r-cliques are processed in descending core
@@ -296,7 +297,7 @@ def hierarchy_te_practical(graph: Graph, r: int, s: int,
     t0 = time.perf_counter()
     if coreness is None:
         coreness = peel_exact(prepared.incidence, counter=counter,
-                              backend=backend)
+                              backend=backend, kernel=kernel)
     core = coreness.core
     t1 = time.perf_counter()
     n_r = prepared.n_r

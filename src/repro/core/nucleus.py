@@ -79,12 +79,17 @@ def _gather_chunk(incidence, rids: List[int]) -> List[List[Tuple[int, ...]]]:
     return [list(incidence.s_cliques_containing(rid)) for rid in rids]
 
 
+#: Peeling kernel selectors accepted by :func:`peel_exact`.
+KERNEL_NAMES = ("auto", "vectorized", "loop")
+
+
 def peel_exact(incidence, counter: Optional[WorkSpanCounter] = None,
                link: Optional[LinkFn] = None,
                core_out: Optional[List[float]] = None,
                bucketing: str = "julienne",
                backend: Optional[ExecutionBackend] = None,
-               chunk_size: Optional[int] = None) -> CorenessResult:
+               chunk_size: Optional[int] = None,
+               kernel: str = "auto") -> CorenessResult:
     """Run the exact peeling process over a prebuilt incidence.
 
     ``link(R', R)`` is invoked for every s-clique-adjacent pair at the
@@ -105,8 +110,32 @@ def peel_exact(incidence, counter: Optional[WorkSpanCounter] = None,
     every batch member -- across worker processes; the mutating updates
     are then applied in the parent in the same deterministic id order as
     the serial path, so the results are identical for every backend.
+
+    ``kernel`` selects the peeling engine: ``"auto"`` (the default) uses
+    the vectorized array kernel (:mod:`repro.core.peel_csr`) whenever the
+    incidence is a :class:`~repro.cliques.csr.CSRIncidence` and julienne
+    bucketing is in effect, and the scalar loop otherwise;
+    ``"vectorized"`` requires the array path; ``"loop"`` forces the
+    scalar engine even on a CSR incidence. All combinations produce
+    identical coreness, ``rho``, meters, and hierarchy partitions.
     """
     counter = counter if counter is not None else NullCounter()
+    if kernel not in KERNEL_NAMES:
+        raise ParameterError(
+            f"unknown kernel {kernel!r}; expected one of {KERNEL_NAMES}")
+    is_csr = getattr(incidence, "strategy", None) == "csr" and \
+        hasattr(incidence, "member_array")
+    if kernel == "vectorized" and not is_csr:
+        raise ParameterError(
+            "kernel='vectorized' requires a CSR incidence "
+            "(build_incidence(strategy='csr'))")
+    if kernel == "vectorized" and bucketing != "julienne":
+        raise ParameterError(
+            "kernel='vectorized' requires julienne bucketing")
+    if is_csr and bucketing == "julienne" and kernel != "loop":
+        from .peel_csr import peel_exact_csr
+        return peel_exact_csr(incidence, counter=counter, link=link,
+                              core_out=core_out)
     n_r = incidence.n_r
     degrees = incidence.initial_degrees()
     if bucketing == "julienne":
@@ -229,7 +258,8 @@ def arb_nucleus(graph: Graph, r: int, s: int,
                 prepared: Optional[NucleusInput] = None,
                 bucketing: str = "julienne",
                 backend: Optional[ExecutionBackend] = None,
-                chunk_size: Optional[int] = None) -> CorenessResult:
+                chunk_size: Optional[int] = None,
+                kernel: str = "auto") -> CorenessResult:
     """Exact (r, s)-clique core numbers of every r-clique (``ARB-NUCLEUS``).
 
     Returns a :class:`CorenessResult`; r-clique ids follow the
@@ -243,4 +273,4 @@ def arb_nucleus(graph: Graph, r: int, s: int,
                            backend=backend, chunk_size=chunk_size)
     return peel_exact(prepared.incidence, counter=counter, link=None,
                       bucketing=bucketing, backend=backend,
-                      chunk_size=chunk_size)
+                      chunk_size=chunk_size, kernel=kernel)

@@ -1,0 +1,198 @@
+"""Array-backed Julienne bucketing for the vectorized peeling kernel.
+
+:class:`ArrayBucketQueue` is the flat-array sibling of
+:class:`~repro.ds.bucketing.BucketQueue`: the authoritative per-id value
+store is a ``numpy`` int64 array, buckets hold append-only chunks of id
+arrays, and value updates arrive as one *batched* decrement per round
+(``apply_decrements``) instead of one Python call per posting. This is
+the layout the paper's C++ artifact uses (flat parallel arrays over
+r-clique ids) and what lets the peeling round's scatter run through
+``np.bincount`` and fancy indexing.
+
+Semantics match the lazy Julienne variant exactly where it is
+observable:
+
+* ``next_bucket()`` extracts the full set of live ids whose current
+  value is minimal -- the same *set* per round as ``BucketQueue``, so
+  the round count ``rounds`` (the peeling complexity ``rho``) and every
+  per-round work charge are identical;
+* values only decrease, clamped at zero;
+* ``updates`` counts *elementary* unit decrements that change a value
+  (``min(delta, old_value)`` per id), which is exactly how many
+  ``update`` calls the scalar queue would have counted for the same
+  round -- the ``bucket_updates`` statistic is therefore backend- and
+  kernel-independent.
+
+Within a bucket the extraction order is ascending insertion time with
+round-level batches appended in id order; the scalar queue appends in
+elementary-decrement order instead. The two orders can differ, but every
+quantity the library pins (coreness, rho, hierarchy partition chains,
+work/span) is invariant to within-bucket order -- see
+``tests/test_link_order_independence.py`` and the differential suites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import DataStructureError
+
+
+class ArrayBucketQueue:
+    """Minimum-bucket extraction with an int-array value store."""
+
+    __slots__ = ("_value", "_alive", "_buckets", "_cursor", "_remaining",
+                 "_limit", "rounds", "updates")
+
+    def __init__(self, values) -> None:
+        value = np.array(values, dtype=np.int64, copy=True).reshape(-1)
+        if value.size and int(value.min()) < 0:
+            bad = int(np.argmax(value < 0))
+            raise DataStructureError(
+                f"bucket value must be >= 0, got {int(value[bad])} "
+                f"for id {bad}")
+        self._value = value
+        self._alive = np.ones(value.size, dtype=bool)
+        #: bucket value -> list of id-array chunks (append-only, lazy)
+        self._buckets: Dict[int, List[np.ndarray]] = {}
+        if value.size:
+            order = np.argsort(value, kind="stable")
+            sorted_vals = value[order]
+            boundaries = np.flatnonzero(sorted_vals[1:] != sorted_vals[:-1]) + 1
+            start = 0
+            for stop in (*boundaries.tolist(), order.size):
+                self._buckets[int(sorted_vals[start])] = [order[start:stop]]
+                start = stop
+        self._cursor = 0
+        # Values only ever decrease, so the initial maximum is a standing
+        # upper bound for every cursor scan (no per-round max() pass).
+        self._limit = int(value.max(initial=0))
+        self._remaining = int(value.size)
+        #: number of ``next_bucket`` extractions performed (= peeling rounds)
+        self.rounds = 0
+        #: number of elementary value decrements applied
+        self.updates = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._remaining
+
+    @property
+    def empty(self) -> bool:
+        return self._remaining == 0
+
+    def value(self, ident: int) -> int:
+        """Current value of ``ident`` (valid also after extraction)."""
+        return int(self._value[ident])
+
+    def values(self) -> np.ndarray:
+        """The authoritative value array (a live view; do not mutate)."""
+        return self._value
+
+    def alive(self, ident: int) -> bool:
+        """Whether ``ident`` has not yet been extracted."""
+        return bool(self._alive[ident])
+
+    def alive_mask(self) -> np.ndarray:
+        """Boolean not-yet-extracted mask (a live view; do not mutate)."""
+        return self._alive
+
+    # -- updates ---------------------------------------------------------
+
+    def apply_decrements(self, ids: np.ndarray, amounts: np.ndarray) -> None:
+        """Batched decrement: lower ``ids[i]`` by ``amounts[i]``, clamped.
+
+        ``ids`` must be unique, live identifiers and ``amounts`` positive
+        -- the shape :func:`np.bincount` over a peeling round's dying
+        s-cliques naturally produces. Ids landing in the same bucket are
+        appended in ascending-id order (``bincount`` order).
+        """
+        if ids.size == 0:
+            return
+        old = self._value[ids]
+        new = old - amounts
+        np.maximum(new, 0, out=new)
+        # min(delta, old) summed == total clamped drop == sum(old - new)
+        self.updates += int(old.sum() - new.sum())
+        changed = new < old
+        if not changed.any():
+            return
+        ids = ids[changed]
+        new = new[changed]
+        self._value[ids] = new
+        order = np.argsort(new, kind="stable")
+        sorted_new = new[order]
+        sorted_ids = ids[order]
+        boundaries = np.flatnonzero(sorted_new[1:] != sorted_new[:-1]) + 1
+        start = 0
+        for stop in (*boundaries.tolist(), order.size):
+            self._buckets.setdefault(int(sorted_new[start]),
+                                     []).append(sorted_ids[start:stop])
+            start = stop
+        lowest = int(sorted_new[0])
+        # Values can drop below the cursor; rewind so extraction sees them.
+        if lowest < self._cursor:
+            self._cursor = lowest
+
+    def decrement(self, ident: int, amount: int = 1) -> None:
+        """Scalar convenience wrapper over :meth:`apply_decrements`."""
+        if not self._alive[ident]:
+            raise DataStructureError(
+                f"cannot update extracted identifier {ident}")
+        if amount < 0:
+            raise DataStructureError(
+                f"bucket values may only decrease: id {ident} "
+                f"{int(self._value[ident])} -> "
+                f"{int(self._value[ident]) - amount}")
+        self.apply_decrements(np.asarray([ident], dtype=np.int64),
+                              np.asarray([amount], dtype=np.int64))
+
+    # -- extraction ------------------------------------------------------
+
+    def peek_min(self):
+        """The minimum current value among live identifiers, or ``None``."""
+        if self._remaining == 0:
+            return None
+        cursor = self._cursor
+        while True:
+            chunks = self._buckets.get(cursor)
+            if chunks is not None:
+                ids = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+                live = self._alive[ids] & (self._value[ids] == cursor)
+                if live.any():
+                    return cursor
+            cursor += 1
+            if cursor > self._limit:
+                return None
+
+    def next_bucket(self) -> Tuple[int, np.ndarray]:
+        """Extract all live identifiers in the minimum bucket.
+
+        Returns ``(value, ids)`` with ``ids`` an int64 array in insertion
+        order (stale and dead entries skipped). Raises if empty.
+        """
+        if self._remaining == 0:
+            raise DataStructureError("next_bucket() on empty ArrayBucketQueue")
+        while self._cursor <= self._limit:
+            chunks = self._buckets.pop(self._cursor, None)
+            if chunks is not None:
+                ids = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+                keep = self._alive[ids] & (self._value[ids] == self._cursor)
+                extracted = ids[keep]
+                if extracted.size:
+                    self._alive[extracted] = False
+                    self._remaining -= int(extracted.size)
+                    self.rounds += 1
+                    return self._cursor, extracted
+            self._cursor += 1
+        raise DataStructureError(
+            "ArrayBucketQueue invariant violated: remaining > 0 but no "
+            "live entries")
+
+    def drain(self):
+        """Iterate ``next_bucket()`` until empty (convenience for tests)."""
+        while not self.empty:
+            yield self.next_bucket()

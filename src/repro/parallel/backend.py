@@ -18,6 +18,14 @@ dispatch through, with two implementations:
   workers once per pool via :meth:`ExecutionBackend.broadcast` rather
   than once per task.
 
+Broadcast objects implementing the :class:`ShareableContext` protocol
+(``__shm_export__`` / ``__shm_import__`` -- e.g.
+:class:`~repro.cliques.csr.CSRIncidence`) additionally ship their numpy
+buffers through ``multiprocessing.shared_memory``: the parent copies each
+array into a named segment once per pool, workers reattach zero-copy, and
+any attach failure degrades gracefully back to pickling the original
+object (correctness never depends on shared memory being available).
+
 Both backends expose the same chunked-map primitive and produce
 **identical results in identical order** -- chunking only partitions a
 deterministic item sequence, and chunk results are concatenated in
@@ -93,6 +101,142 @@ def default_chunk_size(n_items: int, workers: int) -> int:
     if workers <= 1:
         return max(1, n_items)
     return max(1, -(-n_items // (workers * 4)))
+
+
+class ShareableContext:
+    """Protocol for broadcast contexts that ship as shared-memory buffers.
+
+    A context object may opt into zero-copy process broadcast by
+    implementing two hooks (duck-typed; subclassing this class is
+    documentation, not a requirement):
+
+    ``__shm_export__() -> (meta, arrays)``
+        ``meta`` is a small picklable object (scalar parameters);
+        ``arrays`` is a sequence of numpy arrays holding the bulk data.
+    ``__shm_import__(meta, arrays) -> object`` (classmethod)
+        Rebuild a worker-side equivalent from ``meta`` and the reattached
+        arrays. The arrays are read-only views over shared segments; the
+        reconstruction must not assume write access or object identity
+        with the parent's instance.
+
+    The reconstructed object only needs to support what the worker tasks
+    call on it -- it may be a reduced view of the original.
+    """
+
+    def __shm_export__(self):
+        raise NotImplementedError
+
+    @classmethod
+    def __shm_import__(cls, meta, arrays):
+        raise NotImplementedError
+
+
+def is_shareable(obj: Any) -> bool:
+    """Whether ``obj`` implements the :class:`ShareableContext` protocol."""
+    return hasattr(obj, "__shm_export__") and hasattr(obj, "__shm_import__")
+
+
+class SharedMemoryAttachError(Exception):
+    """A worker could not attach a broadcast shared-memory segment.
+
+    Raised inside worker processes and pickled back to the parent, which
+    responds by disabling shared memory for the backend and retrying the
+    map with plain pickled contexts.
+    """
+
+
+class _ShmDescriptor:
+    """Picklable recipe for reattaching a shared-memory broadcast object.
+
+    ``segments`` holds ``(name, shape, dtype_str)`` per exported array;
+    the segment lifetime is owned by the parent backend (workers must
+    not unlink).
+    """
+
+    __slots__ = ("cls", "meta", "segments")
+
+    def __init__(self, cls: type, meta: Any, segments: List[tuple]) -> None:
+        self.cls = cls
+        self.meta = meta
+        self.segments = segments
+
+    def __reduce__(self):
+        return (_ShmDescriptor, (self.cls, self.meta, self.segments))
+
+
+def _export_to_shm(obj: Any):
+    """Copy ``obj``'s arrays into fresh segments; returns (descriptor, blocks).
+
+    Raises whatever ``SharedMemory`` creation raises (e.g. ``OSError``
+    when ``/dev/shm`` is unavailable); callers fall back to pickling.
+    """
+    import numpy as np
+    from multiprocessing import shared_memory
+    meta, arrays = obj.__shm_export__()
+    blocks = []
+    segments = []
+    try:
+        for array in arrays:
+            array = np.ascontiguousarray(array)
+            # Zero-size segments are rejected by the OS; one spare byte
+            # keeps empty arrays (e.g. an edgeless graph's postings)
+            # shippable through the same path.
+            block = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes))
+            block.buf[:array.nbytes] = array.tobytes()
+            blocks.append(block)
+            segments.append((block.name, array.shape, array.dtype.str))
+    except Exception:
+        for block in blocks:
+            block.close()
+            block.unlink()
+        raise
+    return _ShmDescriptor(type(obj), meta, segments), blocks
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment without tracker registration.
+
+    The parent backend owns segment lifetime; if attaching workers also
+    registered the name with the (fork-shared) resource tracker, their
+    deregistration would race the parent's own bookkeeping and unlink
+    segments still in use. Python 3.13 exposes ``track=False`` for this;
+    older versions need the registration suppressed around the attach.
+    """
+    from multiprocessing import shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+
+        def register(res_name, rtype):
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = register
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _attach_shm(descriptor: "_ShmDescriptor"):
+    """Worker-side reattach: rebuild the object over shared buffers.
+
+    Returns ``(obj, blocks)``; the caller must keep ``blocks`` referenced
+    for as long as the object's arrays are in use.
+    """
+    import numpy as np
+    blocks = []
+    arrays = []
+    for name, shape, dtype in descriptor.segments:
+        block = _attach_segment(name)
+        blocks.append(block)
+        array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+        array.flags.writeable = False
+        arrays.append(array)
+    return descriptor.cls.__shm_import__(descriptor.meta, arrays), blocks
 
 
 class ExecutionBackend:
@@ -172,17 +316,37 @@ class SerialBackend(ExecutionBackend):
 # -- worker-process plumbing (module level: must be picklable) -------------
 
 _WORKER_CONTEXTS: dict = {}
+#: token -> (reconstructed object, shared-memory blocks kept referenced)
+_WORKER_SHM_CACHE: dict = {}
 
 
 def _worker_init(contexts: dict) -> None:
     """Pool initializer: install the broadcast contexts in this worker."""
-    global _WORKER_CONTEXTS
+    global _WORKER_CONTEXTS, _WORKER_SHM_CACHE
     _WORKER_CONTEXTS = contexts
+    _WORKER_SHM_CACHE = {}
+
+
+def _worker_context(token: int) -> Any:
+    """Resolve a broadcast token, attaching shared memory lazily."""
+    context = _WORKER_CONTEXTS.get(token)
+    if not isinstance(context, _ShmDescriptor):
+        return context
+    cached = _WORKER_SHM_CACHE.get(token)
+    if cached is not None:
+        return cached[0]
+    try:
+        obj, blocks = _attach_shm(context)
+    except Exception as exc:
+        raise SharedMemoryAttachError(
+            f"worker could not attach shared-memory broadcast: {exc!r}")
+    _WORKER_SHM_CACHE[token] = (obj, blocks)
+    return obj
 
 
 def _call_chunk(fn: ChunkFn, token: Optional[int], chunk: List[Any]) -> Any:
     """Task trampoline executed inside a worker process."""
-    context = _WORKER_CONTEXTS.get(token) if token is not None else None
+    context = _worker_context(token) if token is not None else None
     return fn(context, chunk)
 
 
@@ -206,6 +370,13 @@ class ProcessBackend(ExecutionBackend):
     min_dispatch:
         Item count below which maps run in-process: a two-item round
         trip costs more IPC than it saves.
+    use_shared_memory:
+        Ship :class:`ShareableContext` broadcasts through
+        ``multiprocessing.shared_memory`` (zero-copy, once per pool)
+        instead of pickling them. Disabled automatically -- with the
+        reason recorded in :attr:`shm_fallback_reason` -- when segment
+        creation or worker attach fails; results are identical either
+        way.
     """
 
     name = "process"
@@ -213,12 +384,17 @@ class ProcessBackend(ExecutionBackend):
     def __init__(self, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
                  start_method: Optional[str] = None,
-                 min_dispatch: int = 2) -> None:
+                 min_dispatch: int = 2,
+                 use_shared_memory: bool = True) -> None:
         self._workers = clamp_workers(workers)
         self._chunk_size = chunk_size
         self._min_dispatch = max(1, min_dispatch)
         self._contexts: dict = {}
+        self._local: dict = {}
         self._tokens: dict = {}
+        self._shm_blocks: list = []
+        self._use_shared_memory = bool(use_shared_memory)
+        self._shm_fallback_reason: Optional[str] = None
         self._pool = None
         self._pool_stale = True
         self._fallback_reason: Optional[str] = None
@@ -260,15 +436,56 @@ class ProcessBackend(ExecutionBackend):
     def is_parallel(self) -> bool:
         return self._fallback_reason is None
 
+    @property
+    def shm_fallback_reason(self) -> Optional[str]:
+        """Why shared-memory broadcast is off, or ``None`` if available."""
+        if not self._use_shared_memory and self._shm_fallback_reason is None:
+            return "disabled by configuration"
+        return self._shm_fallback_reason
+
+    def shm_segments(self) -> int:
+        """Number of live shared-memory segments owned by this backend."""
+        return len(self._shm_blocks)
+
     def broadcast(self, obj: Any) -> int:
         key = id(obj)
         if key in self._tokens:
             return self._tokens[key]
         token = len(self._contexts)
-        self._contexts[token] = obj
+        shipped = obj
+        if (self._use_shared_memory and self.is_parallel()
+                and is_shareable(obj)):
+            try:
+                shipped, blocks = _export_to_shm(obj)
+            except Exception as exc:
+                self._shm_fallback_reason = f"segment creation failed: {exc}"
+                shipped = obj
+            else:
+                self._shm_blocks.extend(blocks)
+        self._contexts[token] = shipped
+        self._local[token] = obj
         self._tokens[key] = token
         self._pool_stale = True  # workers must be (re)seeded with it
         return token
+
+    def _disable_shared_memory(self, reason: str) -> None:
+        """Fall back to pickled broadcasts: swap descriptors for originals."""
+        self._shm_fallback_reason = reason
+        self._use_shared_memory = False
+        for token, shipped in list(self._contexts.items()):
+            if isinstance(shipped, _ShmDescriptor):
+                self._contexts[token] = self._local[token]
+        self._release_shm()
+        self._pool_stale = True
+
+    def _release_shm(self) -> None:
+        for block in self._shm_blocks:
+            try:
+                block.close()
+                block.unlink()
+            except Exception:
+                pass
+        self._shm_blocks = []
 
     # -- execution -------------------------------------------------------
 
@@ -276,7 +493,7 @@ class ProcessBackend(ExecutionBackend):
         from concurrent.futures import ProcessPoolExecutor
         if self._pool is not None and not self._pool_stale:
             return self._pool
-        self.close()
+        self._shutdown_pool()
         try:
             self._pool = ProcessPoolExecutor(
                 max_workers=self._workers,
@@ -291,7 +508,8 @@ class ProcessBackend(ExecutionBackend):
 
     def _run_serial(self, fn: ChunkFn, items: Sequence[T],
                     token: Optional[int], size: int) -> List[Any]:
-        context = self._contexts[token] if token is not None else None
+        # Serial paths use the original object, never an shm descriptor.
+        context = self._local[token] if token is not None else None
         return [fn(context, chunk) for chunk in chunked(items, size)]
 
     def map_chunks(self, fn: ChunkFn, items: Sequence[T], *,
@@ -319,12 +537,24 @@ class ProcessBackend(ExecutionBackend):
             self._fallback_reason = "process pool broke mid-flight"
             self.close()
             return self._run_serial(fn, items, token, size)
+        except SharedMemoryAttachError as exc:
+            # A worker could not map a broadcast segment (e.g. /dev/shm
+            # restrictions). Re-broadcast everything pickled and retry
+            # the whole map -- shared memory is an optimization, never a
+            # correctness dependency.
+            self._disable_shared_memory(str(exc))
+            return self.map_chunks(fn, items, token=token,
+                                   chunk_size=chunk_size)
 
-    def close(self) -> None:
+    def _shutdown_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
             self._pool_stale = True
+
+    def close(self) -> None:
+        self._shutdown_pool()
+        self._release_shm()
 
 
 #: Process-wide default backend: the seed behaviour.

@@ -1,0 +1,174 @@
+"""Unit + property tests for the array-backed Julienne bucketing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ds.array_bucketing import ArrayBucketQueue
+from repro.ds.bucketing import BucketQueue
+from repro.errors import DataStructureError
+
+
+class TestBasics:
+    def test_extracts_minimum_bucket(self):
+        q = ArrayBucketQueue([3, 1, 2, 1])
+        value, ids = q.next_bucket()
+        assert value == 1
+        assert sorted(ids.tolist()) == [1, 3]
+
+    def test_extraction_marks_dead(self):
+        q = ArrayBucketQueue([1, 2])
+        q.next_bucket()
+        assert not q.alive(0)
+        assert q.alive(1)
+
+    def test_len_and_empty(self):
+        q = ArrayBucketQueue([5, 5])
+        assert len(q) == 2 and not q.empty
+        q.next_bucket()
+        assert len(q) == 0 and q.empty
+
+    def test_empty_extraction_raises(self):
+        q = ArrayBucketQueue([])
+        with pytest.raises(DataStructureError):
+            q.next_bucket()
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(DataStructureError):
+            ArrayBucketQueue([1, -1])
+
+    def test_alive_mask_is_live_view(self):
+        q = ArrayBucketQueue([0, 1])
+        mask = q.alive_mask()
+        q.next_bucket()
+        assert mask.tolist() == [False, True]
+
+
+class TestUpdates:
+    def test_decrement_rebuckets(self):
+        q = ArrayBucketQueue([5, 3])
+        q.decrement(0, 4)  # 0 now has value 1 < 3
+        value, ids = q.next_bucket()
+        assert (value, ids.tolist()) == (1, [0])
+
+    def test_update_below_cursor_is_seen(self):
+        q = ArrayBucketQueue([0, 5])
+        q.next_bucket()      # extracts id 0, cursor at 0
+        q.decrement(1, 5)    # drops to the cursor's level
+        value, ids = q.next_bucket()
+        assert (value, ids.tolist()) == (0, [1])
+
+    def test_negative_amount_rejected(self):
+        q = ArrayBucketQueue([1, 2])
+        with pytest.raises(DataStructureError):
+            q.decrement(0, -1)
+
+    def test_update_dead_rejected(self):
+        q = ArrayBucketQueue([1, 2])
+        q.next_bucket()
+        with pytest.raises(DataStructureError):
+            q.decrement(0)
+
+    def test_decrement_clamps_at_zero(self):
+        q = ArrayBucketQueue([1, 5])
+        q.decrement(0, 10)
+        assert q.value(0) == 0
+
+    def test_stale_entries_skipped(self):
+        q = ArrayBucketQueue([4, 4])
+        q.decrement(0, 2)
+        q.decrement(0, 1)  # two stale entries for id 0 now exist
+        value, ids = q.next_bucket()
+        assert (value, ids.tolist()) == (1, [0])
+        value, ids = q.next_bucket()
+        assert (value, ids.tolist()) == (4, [1])
+
+    def test_updates_count_elementary_decrements(self):
+        q = ArrayBucketQueue([4, 4, 0])
+        q.apply_decrements(np.asarray([0, 1]), np.asarray([2, 3]))
+        assert q.updates == 5
+        # clamped portion does not count: id 2 is already at zero
+        q.apply_decrements(np.asarray([2]), np.asarray([7]))
+        assert q.updates == 5
+        # partially clamped: only the distance to zero counts
+        q.apply_decrements(np.asarray([0]), np.asarray([10]))
+        assert q.updates == 7
+
+    def test_batched_decrement_groups_by_new_value(self):
+        q = ArrayBucketQueue([9, 9, 9, 9])
+        q.apply_decrements(np.asarray([0, 1, 2]), np.asarray([4, 2, 4]))
+        value, ids = q.next_bucket()
+        assert (value, sorted(ids.tolist())) == (5, [0, 2])
+        value, ids = q.next_bucket()
+        assert (value, ids.tolist()) == (7, [1])
+
+    def test_empty_batch_is_noop(self):
+        q = ArrayBucketQueue([3])
+        q.apply_decrements(np.asarray([], dtype=np.int64),
+                           np.asarray([], dtype=np.int64))
+        assert q.value(0) == 3 and q.updates == 0
+
+
+class TestRounds:
+    def test_rounds_counts_extractions(self):
+        q = ArrayBucketQueue([1, 1, 2, 3])
+        list(q.drain())
+        assert q.rounds == 3  # buckets 1, 2, 3
+
+    def test_drain_yields_everything_once(self):
+        q = ArrayBucketQueue([2, 0, 2, 5])
+        seen = [i for _, ids in q.drain() for i in ids.tolist()]
+        assert sorted(seen) == [0, 1, 2, 3]
+
+
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=50))
+def test_static_drain_matches_scalar_queue(values):
+    """With no updates, both queues yield identical (value, set) rounds."""
+    array_q = ArrayBucketQueue(values)
+    scalar_q = BucketQueue(values)
+    while not scalar_q.empty:
+        sv, sids = scalar_q.next_bucket()
+        av, aids = array_q.next_bucket()
+        assert (av, sorted(aids.tolist())) == (sv, sorted(sids))
+    assert array_q.empty
+    assert array_q.rounds == scalar_q.rounds
+
+
+@given(st.lists(st.integers(0, 15), min_size=2, max_size=30),
+       st.lists(st.tuples(st.integers(0, 29), st.integers(1, 5)),
+                max_size=30))
+def test_peeling_discipline_differential(values, decrements):
+    """Interleave rounds and decrements; the two queues stay in lockstep.
+
+    Per-round extraction sets, values, the round count, and the
+    elementary-update statistic must all agree -- this is the invariant
+    the vectorized peeling kernel's byte-identity rests on.
+    """
+    array_q = ArrayBucketQueue(values)
+    scalar_q = BucketQueue(values)
+    decrements = list(decrements)
+    extracted = []
+    while not scalar_q.empty:
+        sv, sids = scalar_q.next_bucket()
+        av, aids = array_q.next_bucket()
+        assert (av, sorted(aids.tolist())) == (sv, sorted(sids))
+        extracted.extend(sids)
+        batch = {}
+        while decrements:
+            ident, amount = decrements.pop()
+            ident %= len(values)
+            if scalar_q.alive(ident):
+                batch[ident] = batch.get(ident, 0) + amount
+                break
+        for ident, amount in batch.items():
+            for _ in range(amount):
+                scalar_q.decrement(ident)
+        if batch:
+            ids = np.asarray(sorted(batch), dtype=np.int64)
+            amounts = np.asarray([batch[i] for i in sorted(batch)],
+                                 dtype=np.int64)
+            array_q.apply_decrements(ids, amounts)
+        assert array_q.updates == scalar_q.updates
+    assert array_q.empty
+    assert sorted(extracted) == list(range(len(values)))
+    assert array_q.rounds == scalar_q.rounds

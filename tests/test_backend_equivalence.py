@@ -105,6 +105,24 @@ class TestFullDecompositionEquivalence:
                                          backend=pool)
         assert fingerprint(parallel) == fingerprint(serial)
 
+    def test_csr_strategy(self, planted, pool):
+        serial = nucleus_decomposition(planted, 2, 3, strategy="csr")
+        parallel = nucleus_decomposition(planted, 2, 3, strategy="csr",
+                                         backend=pool)
+        assert fingerprint(parallel) == fingerprint(serial)
+        assert fingerprint(serial) == \
+            fingerprint(nucleus_decomposition(planted, 2, 3))
+
+    def test_csr_loop_kernel_broadcasts_incidence(self, planted, pool):
+        """kernel='loop' on a CSR incidence drives the generic peel path,
+        which broadcasts the incidence to the pool -- the end-to-end
+        exercise of the shared-memory shipping."""
+        serial = nucleus_decomposition(planted, 2, 3, strategy="csr",
+                                       kernel="loop")
+        parallel = nucleus_decomposition(planted, 2, 3, strategy="csr",
+                                         kernel="loop", backend=pool)
+        assert fingerprint(parallel) == fingerprint(serial)
+
     def test_coreness_only(self, planted, pool):
         serial = nucleus_decomposition(planted, 2, 4, hierarchy=False)
         parallel = nucleus_decomposition(planted, 2, 4, hierarchy=False,
@@ -144,6 +162,69 @@ class TestDeterminism:
         serial = nucleus_decomposition(planted, 2, 3)
         degraded = nucleus_decomposition(planted, 2, 3, backend=backend)
         assert fingerprint(degraded) == fingerprint(serial)
+
+
+class TestSharedMemoryBroadcast:
+    """Zero-copy CSR broadcast: on, off, and degraded all give one answer."""
+
+    @staticmethod
+    def _run(graph, backend):
+        from repro.core.nucleus import peel_exact, prepare
+        prep = prepare(graph, 2, 3, strategy="csr", backend=backend)
+        # the loop kernel is what broadcasts the incidence to the pool
+        result = peel_exact(prep.incidence, kernel="loop", backend=backend)
+        return (coreness_bytes(result), result.rho, result.stats)
+
+    def test_shm_on_off_identical(self, planted):
+        serial = self._run(planted, None)
+        with ProcessBackend(workers=2) as shm_on:
+            with_shm = self._run(planted, shm_on)
+            assert shm_on.shm_fallback_reason is None
+            assert shm_on.shm_segments() == 4  # the four CSR arrays
+        assert shm_on.shm_segments() == 0  # released on close
+        with ProcessBackend(workers=2, use_shared_memory=False) as shm_off:
+            without_shm = self._run(planted, shm_off)
+            assert shm_off.shm_segments() == 0
+            assert shm_off.shm_fallback_reason == "disabled by configuration"
+        assert with_shm == without_shm == serial
+
+    def test_attach_failure_falls_back_to_pickle(self, planted,
+                                                 monkeypatch):
+        """A worker that cannot map segments forces a transparent retry
+        with pickled contexts (fork inherits the patched attach)."""
+        import repro.parallel.backend as backend_module
+
+        def broken(descriptor):
+            raise OSError("simulated /dev/shm failure")
+
+        monkeypatch.setattr(backend_module, "_attach_shm", broken)
+        serial = self._run(planted, None)
+        with ProcessBackend(workers=2) as backend:
+            degraded = self._run(planted, backend)
+            assert backend.shm_fallback_reason is not None
+            assert "attach" in backend.shm_fallback_reason
+        assert degraded == serial
+
+    def test_non_shareable_contexts_untouched(self, planted):
+        """(orientation, index) tuples lack the protocol: plain pickling."""
+        with ProcessBackend(workers=2) as backend:
+            run = nucleus_decomposition(planted, 2, 3, backend=backend)
+            assert backend.shm_segments() == 0
+        assert fingerprint(run) == \
+            fingerprint(nucleus_decomposition(planted, 2, 3))
+
+    def test_shm_reconstruction_roundtrip(self, planted):
+        """__shm_export__/__shm_import__ rebuild an equivalent view."""
+        from repro.cliques.csr import CSRIncidence
+        from repro.cliques.incidence import build_incidence
+        _, _, csr = build_incidence(planted, 2, 3, strategy="csr")
+        meta, arrays = csr.__shm_export__()
+        clone = CSRIncidence.__shm_import__(meta, arrays)
+        assert clone.n_r == csr.n_r and clone.n_s == csr.n_s
+        assert clone.initial_degrees() == csr.initial_degrees()
+        for rid in range(csr.n_r):
+            assert list(clone.s_cliques_containing(rid)) == \
+                list(csr.s_cliques_containing(rid))
 
 
 class TestStageEquivalence:

@@ -171,3 +171,28 @@ class TestGoldenDatasets:
         with open(_golden_path(name, scale, r, s), encoding="utf-8") as handle:
             expected = json.load(handle)
         assert decomposition_snapshot(result) == expected
+
+    @pytest.mark.parametrize("name,scale,r,s", GOLDEN_CASES)
+    def test_csr_strategy_matches_snapshot(self, name, scale, r, s):
+        graph = load_dataset(name, scale=scale)
+        result = nucleus_decomposition(graph, r, s, strategy="csr")
+        with open(_golden_path(name, scale, r, s), encoding="utf-8") as handle:
+            expected = json.load(handle)
+        assert decomposition_snapshot(result) == expected
+
+    @pytest.mark.parametrize("name,scale,r,s", GOLDEN_CASES)
+    @pytest.mark.parametrize("use_shm", (True, False),
+                             ids=("shm", "pickle"))
+    def test_csr_process_backend_matches_snapshot(self, name, scale, r, s,
+                                                  use_shm):
+        from repro.parallel.backend import ProcessBackend
+        graph = load_dataset(name, scale=scale)
+        with ProcessBackend(workers=2,
+                            use_shared_memory=use_shm) as backend:
+            # the loop kernel broadcasts the CSR incidence to the pool,
+            # exercising the shared-memory (or pickled) shipping path
+            result = nucleus_decomposition(graph, r, s, strategy="csr",
+                                           kernel="loop", backend=backend)
+        with open(_golden_path(name, scale, r, s), encoding="utf-8") as handle:
+            expected = json.load(handle)
+        assert decomposition_snapshot(result) == expected

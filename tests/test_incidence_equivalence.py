@@ -1,0 +1,118 @@
+"""Differential tests: every incidence strategy is indistinguishable.
+
+``MaterializedIncidence`` (dict/list), ``ReEnumIncidence`` (recompute on
+demand), and ``CSRIncidence`` (flat numpy arrays) are three layouts of
+one mathematical object. These tests promote the equality check that
+used to live only in ``benchmarks/bench_ablation.py`` into the tier-1
+suite: identical degrees, postings, and member tuples on the seeded
+corpus over every ``(r, s)`` pair with ``s <= 5``, and identical
+end-to-end decompositions against the ``naive_hierarchy`` oracle.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+import pytest
+
+from conftest import RS_PAIRS, oracle_chain, random_graphs
+from repro.cliques.csr import CSRIncidence, member_id_array
+from repro.cliques.incidence import INCIDENCE_STRATEGIES, build_incidence
+from repro.core.nucleus import peel_exact
+
+
+@pytest.fixture(scope="module")
+def corpus(paper_like_graph, planted, social_graph):
+    """(graph, restrict_to_cheap_rs) pairs: the seeded generator corpus."""
+    graphs = [(paper_like_graph, False), (planted, False)]
+    graphs += [(g, False) for g in random_graphs(count=2, n=24)]
+    graphs += [(social_graph, True)]
+    return graphs
+
+
+def incidences(graph, r, s):
+    """One incidence per strategy, built from the same graph."""
+    built = {}
+    for strategy in INCIDENCE_STRATEGIES:
+        _, _, incidence = build_incidence(graph, r, s, strategy=strategy)
+        built[strategy] = incidence
+    return built
+
+
+class TestStructuralEquality:
+    """Degrees, postings, and member tuples agree across strategies."""
+
+    @pytest.mark.parametrize("r,s", RS_PAIRS)
+    def test_corpus_all_rs(self, corpus, r, s):
+        assert s <= 5
+        for graph, cheap_only in corpus:
+            if cheap_only and (r, s) != (2, 3):
+                continue
+            built = incidences(graph, r, s)
+            base = built["materialized"]
+            for strategy, incidence in built.items():
+                assert incidence.n_r == base.n_r, (graph.name, strategy)
+                assert incidence.n_s == base.n_s, (graph.name, strategy)
+                assert incidence.initial_degrees() == \
+                    base.initial_degrees(), (graph.name, strategy)
+                for rid in range(base.n_r):
+                    assert sorted(incidence.s_cliques_containing(rid)) == \
+                        sorted(base.s_cliques_containing(rid)), \
+                        (graph.name, strategy, rid)
+
+    def test_csr_matches_materialized_exactly(self, planted):
+        """CSR reproduces the streaming layout bit for bit, not just as sets:
+        same sid numbering, same member tuples, same posting order."""
+        for r, s in ((1, 2), (2, 3), (2, 4), (3, 4)):
+            _, _, mat = build_incidence(planted, r, s, strategy="materialized")
+            _, _, csr = build_incidence(planted, r, s, strategy="csr")
+            assert isinstance(csr, CSRIncidence)
+            for sid in range(mat.n_s):
+                assert csr.members(sid) == mat.members(sid), (r, s, sid)
+            for rid in range(mat.n_r):
+                assert csr.s_clique_ids_of(rid) == \
+                    mat.s_clique_ids_of(rid), (r, s, rid)
+            assert list(csr.iter_s_cliques()) == list(mat.iter_s_cliques())
+            assert csr.memory_units() == mat.memory_units(), (r, s)
+
+    def test_csr_array_types(self, planted):
+        _, _, csr = build_incidence(planted, 2, 3, strategy="csr")
+        assert csr.member_array.dtype == np.int64
+        assert csr.member_array.shape == (csr.n_s, csr.s_choose_r)
+        assert csr.posting_indptr.shape == (csr.n_r + 1,)
+        assert csr.posting_indices.shape[0] == csr.n_s * csr.s_choose_r
+        assert csr.degree_array.tolist() == csr.initial_degrees()
+
+    def test_member_id_array_empty(self, triangle_graph):
+        _, index, _ = build_incidence(triangle_graph, 2, 3)
+        out = member_id_array(index, [], 3)
+        assert out.shape == (0, 3)
+
+    def test_unknown_strategy_rejected(self, triangle_graph):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError, match="csr"):
+            build_incidence(triangle_graph, 2, 3, strategy="nope")
+
+
+class TestEndToEndOracle:
+    """Full decompositions agree with the naive-hierarchy oracle."""
+
+    @pytest.mark.parametrize("r,s", RS_PAIRS)
+    def test_coreness_bytes_and_chain(self, corpus, r, s):
+        for graph, cheap_only in corpus:
+            if cheap_only and (r, s) != (2, 3):
+                continue
+            _, exact, chain = oracle_chain(graph, r, s)
+            reference = array("d", exact.core).tobytes()
+            for strategy in ("reenum", "csr"):
+                _, _, incidence = build_incidence(graph, r, s,
+                                                  strategy=strategy)
+                result = peel_exact(incidence)
+                assert array("d", result.core).tobytes() == reference, \
+                    (graph.name, r, s, strategy)
+                assert result.rho == exact.rho, (graph.name, r, s, strategy)
+                from repro.baselines.naive_hierarchy import naive_hierarchy
+                tree = naive_hierarchy(incidence, result.core)
+                assert tree.partition_chain() == chain, \
+                    (graph.name, r, s, strategy)

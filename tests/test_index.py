@@ -1,8 +1,9 @@
 """Unit tests for the r-clique index."""
 
+import numpy as np
 import pytest
 
-from repro.cliques.index import CliqueIndex
+from repro.cliques.index import CliqueIndex, _is_sorted_unique
 from repro.errors import DataStructureError, ParameterError
 from repro.graphs.graph import Graph
 from repro.graphs.orientation import arb_orient
@@ -69,3 +70,90 @@ class TestLookups:
 
     def test_label(self):
         assert self.idx.label(0) == "{0,1,2}"
+
+
+class TestSortedSkip:
+    """Pre-sorted canonical input skips the canonicalizing re-sort."""
+
+    def test_detector(self):
+        assert _is_sorted_unique([(0, 1), (0, 2), (1, 2)])
+        assert not _is_sorted_unique([(0, 2), (0, 1)])    # not ascending
+        assert not _is_sorted_unique([(0, 1), (0, 1)])    # duplicate
+        assert not _is_sorted_unique([(1, 0), (1, 2)])    # not canonical
+        assert _is_sorted_unique([])
+
+    def test_presorted_input_identical_index(self):
+        presorted = [(0, 1), (0, 2), (1, 2)]
+        shuffled = [(2, 1), (0, 1), (2, 0)]
+        a, b = CliqueIndex(presorted), CliqueIndex(shuffled)
+        assert list(a) == list(b) == presorted
+        assert all(a.id_of(c) == b.id_of(c) for c in presorted)
+
+    def test_presorted_list_is_adopted_without_copying_order(self):
+        presorted = [(0, 1, 2), (0, 1, 3), (1, 2, 3)]
+        idx = CliqueIndex(presorted)
+        assert [idx.clique_of(i) for i in idx.ids()] == presorted
+
+    def test_enumeration_output_takes_fast_path(self):
+        g = Graph.complete(5)
+        idx = CliqueIndex.from_orientation(arb_orient(g), 2)
+        assert _is_sorted_unique(list(idx))
+
+
+class TestBulkLookup:
+    """``ids_of``: the vectorized counterpart of ``id_of``."""
+
+    def setup_method(self):
+        g = Graph.complete(5)
+        self.idx = CliqueIndex.from_orientation(arb_orient(g), 2)
+
+    def test_matches_scalar_lookup(self):
+        rows = [self.idx.clique_of(i) for i in self.idx.ids()]
+        got = self.idx.ids_of(np.asarray(rows))
+        assert got.tolist() == list(self.idx.ids())
+
+    def test_unsorted_rows_canonicalized(self):
+        got = self.idx.ids_of(np.asarray([(3, 0), (4, 2)]))
+        assert got.tolist() == [self.idx.id_of((0, 3)), self.idx.id_of((2, 4))]
+
+    def test_empty_query(self):
+        got = self.idx.ids_of(np.empty((0, 2), dtype=np.int64))
+        assert got.shape == (0,)
+
+    def test_missing_row_raises(self):
+        with pytest.raises(DataStructureError, match=r"\(0, 9\)"):
+            self.idx.ids_of(np.asarray([(0, 1), (0, 9)]))
+
+    def test_negative_vertex_raises(self):
+        with pytest.raises(DataStructureError):
+            self.idx.ids_of(np.asarray([(-1, 2)]))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ParameterError):
+            self.idx.ids_of(np.asarray([(0, 1, 2)]))
+
+    def test_missing_interior_row_raises(self):
+        # a key that searchsorts between existing keys, not past the end
+        idx = CliqueIndex([(0, 1), (0, 5), (3, 4)])
+        with pytest.raises(DataStructureError):
+            idx.ids_of(np.asarray([(0, 3)]))
+
+    def test_overflow_falls_back_to_dict(self):
+        big = 1 << 40
+        idx = CliqueIndex([(0, big), (1, big)])
+        assert idx._encoding() == (None, 0)
+        got = idx.ids_of(np.asarray([(big, 1), (0, big)]))
+        assert got.tolist() == [idx.id_of((1, big)), idx.id_of((0, big))]
+
+    def test_overflow_fallback_missing_raises(self):
+        big = 1 << 40
+        idx = CliqueIndex([(0, big)])
+        with pytest.raises(DataStructureError):
+            idx.ids_of(np.asarray([(1, big)]))
+
+    def test_triples(self):
+        g = Graph.complete(6)
+        idx = CliqueIndex.from_orientation(arb_orient(g), 3)
+        rows = np.asarray([idx.clique_of(i) for i in idx.ids()])
+        shuffled = rows[:, ::-1]
+        assert idx.ids_of(shuffled).tolist() == list(idx.ids())

@@ -1,0 +1,117 @@
+"""The vectorized CSR peeling kernel: selection, errors, byte-identity."""
+
+from array import array
+
+import pytest
+
+from conftest import RS_PAIRS, random_graphs
+from repro.core.api import nucleus_decomposition
+from repro.core.nucleus import KERNEL_NAMES, peel_exact, prepare
+from repro.errors import ParameterError
+
+
+def run(graph, r, s, strategy, **kwargs):
+    prep = prepare(graph, r, s, strategy=strategy)
+    return peel_exact(prep.incidence, **kwargs)
+
+
+def signature(result):
+    return (array("d", result.core).tobytes(), result.rho,
+            result.work_span.work, result.work_span.span, result.stats)
+
+
+class TestKernelSelection:
+    def test_kernel_names_constant(self):
+        assert KERNEL_NAMES == ("auto", "vectorized", "loop")
+
+    def test_unknown_kernel_rejected(self, planted):
+        with pytest.raises(ParameterError, match="kernel"):
+            run(planted, 2, 3, "csr", kernel="simd")
+
+    def test_vectorized_requires_csr(self, planted):
+        with pytest.raises(ParameterError, match="vectorized"):
+            run(planted, 2, 3, "materialized", kernel="vectorized")
+
+    def test_vectorized_requires_julienne(self, planted):
+        with pytest.raises(ParameterError, match="julienne"):
+            run(planted, 2, 3, "csr", kernel="vectorized", bucketing="heap")
+
+    def test_loop_kernel_allowed_on_csr(self, planted):
+        baseline = run(planted, 2, 3, "materialized")
+        assert signature(run(planted, 2, 3, "csr", kernel="loop")) == \
+            signature(baseline)
+
+    def test_heap_bucketing_falls_back_to_loop(self, planted):
+        # auto + heap cannot vectorize; it must still produce the heap
+        # path's results rather than erroring.
+        baseline = run(planted, 2, 3, "materialized", bucketing="heap")
+        got = run(planted, 2, 3, "csr", bucketing="heap")
+        assert array("d", got.core).tobytes() == \
+            array("d", baseline.core).tobytes()
+
+
+class TestByteIdentity:
+    """The headline contract: every kernel produces the same bytes."""
+
+    @pytest.mark.parametrize("r,s", RS_PAIRS)
+    def test_corpus_all_rs(self, paper_like_graph, planted, r, s):
+        for graph in (paper_like_graph, planted,
+                      *random_graphs(count=2, n=24)):
+            baseline = signature(run(graph, r, s, "materialized"))
+            for kernel in ("auto", "vectorized", "loop"):
+                assert signature(run(graph, r, s, "csr", kernel=kernel)) == \
+                    baseline, (graph.name, r, s, kernel)
+
+    def test_core_out_filled_in_place(self, planted):
+        prep = prepare(planted, 2, 3, strategy="csr")
+        core_out = [7.0] * prep.n_r
+        result = peel_exact(prep.incidence, core_out=core_out)
+        assert result.core is core_out
+        assert core_out == run(planted, 2, 3, "materialized").core
+
+    def test_core_out_length_checked(self, planted):
+        prep = prepare(planted, 2, 3, strategy="csr")
+        with pytest.raises(ParameterError, match="core_out"):
+            peel_exact(prep.incidence, core_out=[0.0])
+
+    def test_link_sequence_observes_final_cores(self, paper_like_graph):
+        """The link callback sees pairs whose earlier side's core number
+        is final, and the vectorized kernel reports the same multiset of
+        unordered pairs. (Pair *orientation* within one peeling round may
+        differ -- within-bucket processing order is not pinned; see
+        tests/test_link_order_independence.py.)"""
+        def collect(graph, strategy):
+            prep = prepare(graph, 2, 3, strategy=strategy)
+            pairs = []
+            core_live = [0.0] * prep.n_r
+            result = peel_exact(prep.incidence, core_out=core_live,
+                                link=lambda a, b: pairs.append((a, b)))
+            for early, late in pairs:
+                assert result.core[early] <= result.core[late]
+            return (sorted(tuple(sorted(p)) for p in pairs),
+                    result.stats["link_calls"])
+
+        scalar_pairs, scalar_calls = collect(paper_like_graph, "materialized")
+        csr_pairs, csr_calls = collect(paper_like_graph, "csr")
+        assert csr_pairs == scalar_pairs
+        assert csr_calls == scalar_calls
+
+    @pytest.mark.parametrize("method", ("anh-el", "anh-bl", "anh-te",
+                                        "naive"))
+    def test_hierarchy_methods_kernel_invariant(self, paper_like_graph,
+                                                method):
+        def chain(kernel):
+            res = nucleus_decomposition(paper_like_graph, 2, 3,
+                                        method=method, strategy="csr",
+                                        kernel=kernel)
+            return {level: sorted(sorted(g) for g in groups)
+                    for level, groups in res.tree.partition_chain().items()}
+
+        assert chain("auto") == chain("loop")
+
+    def test_api_kernel_parameter(self, planted):
+        base = nucleus_decomposition(planted, 2, 3)
+        vec = nucleus_decomposition(planted, 2, 3, strategy="csr",
+                                    kernel="vectorized")
+        assert list(vec.core) == list(base.core)
+        assert vec.rho == base.rho
