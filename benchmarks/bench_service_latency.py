@@ -1,0 +1,181 @@
+"""Serving-path benchmark: artifact sizes and query latencies.
+
+The store + service subsystem exists for the compute-once / query-many
+workflow (paper Section 1, Figure 10): a decomposition is computed once,
+persisted as a ``.nda`` artifact, and then queried many times. This
+harness measures what that buys:
+
+* **artifact size** vs the graph and the decomposition shape;
+* **cold open** -- ``load_artifact`` + first query, i.e. header
+  validation plus one ``mmap(2)`` (the "opens in milliseconds" claim);
+* **warm latency** -- per-query time against a hot mapping, for the
+  point endpoints (``membership``, ``community``, ``coreness``);
+* **batch throughput** -- queries/second through
+  ``DecompositionService.batch`` (one artifact resolution per batch)
+  and through the HTTP front end under concurrent clients.
+
+Emits ``BENCH_service.json`` at the repo root via ``emit_json``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+from repro import nucleus_decomposition
+from repro.analysis.reporting import banner, format_table
+from repro.core.queries import HierarchyQueryIndex
+from repro.service import DecompositionService, http_batch, serve_background
+from repro.store import load_artifact, write_artifact
+
+from bench_common import (bench_graph, bench_row, emit_json, kernel_graph,
+                          within_budget)
+
+#: (dataset, r, s) grid; the budget guard drops what the scale can't afford.
+CONFIGS = (("dblp", 1, 2), ("dblp", 2, 3), ("youtube", 2, 3),
+           ("youtube", 2, 4), ("amazon", 2, 3))
+
+#: Point queries per warm-latency sample.
+WARM_QUERIES = 200
+
+#: Queries per batch and concurrent HTTP clients for the throughput legs.
+BATCH_SIZE = 100
+HTTP_CLIENTS = 8
+
+
+def _measure_config(name: str, graph, r: int, s: int,
+                    directory: str) -> Dict:
+    """One row: build + persist + cold/warm/batch timings."""
+    t0 = time.perf_counter()
+    result = nucleus_decomposition(graph, r, s)
+    index = HierarchyQueryIndex(result)
+    decompose_seconds = time.perf_counter() - t0
+
+    path = os.path.join(directory, f"{name}-{r}-{s}.nda")
+    t0 = time.perf_counter()
+    write_artifact(result, path, query_index=index)
+    write_seconds = time.perf_counter() - t0
+
+    # Cold: open + one membership query on a fresh mapping.
+    t0 = time.perf_counter()
+    artifact = load_artifact(path)
+    artifact.membership(0)
+    cold_seconds = time.perf_counter() - t0
+
+    # Warm: point queries against the hot mapping.
+    n = artifact.graph_n
+    t0 = time.perf_counter()
+    for i in range(WARM_QUERIES):
+        artifact.membership(i % n)
+    warm_membership = (time.perf_counter() - t0) / WARM_QUERIES
+    t0 = time.perf_counter()
+    for i in range(WARM_QUERIES):
+        artifact.community([i % n, (i * 7 + 1) % n]
+                           if n > 1 else [0])
+    warm_community = (time.perf_counter() - t0) / WARM_QUERIES
+
+    # Batch throughput through the in-process service.
+    service = DecompositionService({"g": path})
+    queries = [{"artifact": "g", "op": "membership", "vertex": i % n}
+               for i in range(BATCH_SIZE)]
+    service.batch(queries)  # prime the cache
+    t0 = time.perf_counter()
+    service.batch(queries)
+    batch_qps = BATCH_SIZE / max(time.perf_counter() - t0, 1e-9)
+
+    # HTTP batch throughput under concurrent clients.
+    server, thread = serve_background({"g": path})
+    url = "http://{}:{}".format(*server.server_address[:2])
+    http_batch(url, queries)  # warm the server
+    workers = []
+    t0 = time.perf_counter()
+    for _ in range(HTTP_CLIENTS):
+        worker = threading.Thread(target=http_batch, args=(url, queries))
+        worker.start()
+        workers.append(worker)
+    for worker in workers:
+        worker.join()
+    http_qps = HTTP_CLIENTS * BATCH_SIZE / max(time.perf_counter() - t0,
+                                               1e-9)
+    server.shutdown()
+    thread.join(timeout=5)
+
+    artifact_bytes = os.path.getsize(path)
+    artifact.close()
+    return bench_row(
+        name, r, s, decompose_seconds,
+        n_vertices=graph.n, n_edges=graph.m,
+        n_r_cliques=result.n_r, n_nuclei=len(index),
+        artifact_bytes=artifact_bytes,
+        write_seconds=write_seconds,
+        cold_open_ms=cold_seconds * 1e3,
+        warm_membership_us=warm_membership * 1e6,
+        warm_community_us=warm_community * 1e6,
+        batch_qps=batch_qps,
+        http_batch_qps=http_qps)
+
+
+def run_latency(configs=CONFIGS, graph_loader=bench_graph) -> List[Dict]:
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as directory:
+        for name, r, s in configs:
+            graph = graph_loader(name)
+            if not within_budget(graph, r, s):
+                rows.append(bench_row(name, r, s, None))
+                continue
+            rows.append(_measure_config(name, graph, r, s, directory))
+    return rows
+
+
+def build_report() -> str:
+    rows = run_latency()
+    emit_json("service", rows, warm_queries=WARM_QUERIES,
+              batch_size=BATCH_SIZE, http_clients=HTTP_CLIENTS)
+    table = format_table(
+        ("graph", "r", "s", "artifact KiB", "cold open ms",
+         "warm member us", "batch q/s", "http q/s"),
+        [(row["graph"], row["r"], row["s"],
+          "-" if row["skipped"] else f"{row['artifact_bytes'] / 1024:.1f}",
+          "-" if row["skipped"] else f"{row['cold_open_ms']:.2f}",
+          "-" if row["skipped"] else f"{row['warm_membership_us']:.1f}",
+          "-" if row["skipped"] else f"{row['batch_qps']:.0f}",
+          "-" if row["skipped"] else f"{row['http_batch_qps']:.0f}")
+         for row in rows],
+        title="artifact store + service: sizes, latencies, throughput")
+    return banner("service latency") + "\n" + table
+
+
+def test_service_latency_rows():
+    """Cheap correctness pass over the harness at kernel scale."""
+    rows = run_latency(configs=(("dblp", 2, 3),),
+                       graph_loader=kernel_graph)
+    assert len(rows) == 1
+    row = rows[0]
+    assert not row["skipped"]
+    assert row["artifact_bytes"] > 0
+    assert row["cold_open_ms"] > 0
+    assert row["warm_membership_us"] > 0
+    assert row["batch_qps"] > 0
+    assert row["http_batch_qps"] > 0
+    print(f"cold {row['cold_open_ms']:.2f}ms, "
+          f"warm {row['warm_membership_us']:.1f}us, "
+          f"batch {row['batch_qps']:.0f} q/s, "
+          f"http {row['http_batch_qps']:.0f} q/s")
+
+
+def test_benchmark_warm_membership_kernel(benchmark, tmp_path):
+    graph = kernel_graph("dblp")
+    result = nucleus_decomposition(graph, 2, 3)
+    path = str(tmp_path / "bench.nda")
+    write_artifact(result, path)
+    artifact = load_artifact(path)
+    n = artifact.graph_n
+    counter = iter(range(10 ** 9))
+    benchmark(lambda: artifact.membership(next(counter) % n))
+
+
+if __name__ == "__main__":
+    print(build_report())

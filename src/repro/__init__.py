@@ -21,30 +21,40 @@ Quickstart::
 from .core import (Community, CorenessResult, HierarchyQueryIndex,
                    HierarchyTree, NucleusDecomposition, approx_arb_nucleus,
                    approximation_bound, arb_nucleus, choose_method,
-                   hierarchy_statistics, k_clique_densest,
-                   k_clique_densest_parallel, k_core, k_truss,
-                   nucleus_decomposition)
-from .export import (decomposition_to_json, load_coreness, nuclei_to_rows,
-                     tree_to_dot)
-from .errors import (DataStructureError, GraphFormatError, HierarchyError,
-                     ParameterError, ReproError)
+                   decompose_to_artifact, hierarchy_statistics,
+                   k_clique_densest, k_clique_densest_parallel, k_core,
+                   k_truss, nucleus_decomposition)
+from .export import (decomposition_from_dict, decomposition_from_json,
+                     decomposition_to_dict, decomposition_to_json,
+                     load_coreness, nuclei_to_rows, tree_to_dot)
+from .errors import (ArtifactError, DataStructureError, GraphFormatError,
+                     HierarchyError, ParameterError, ReproError,
+                     ServiceError)
 from .graphs import (Graph, barabasi_albert, erdos_renyi, load_dataset,
                      planted_nuclei, powerlaw_cluster, read_edge_list,
                      watts_strogatz, write_edge_list)
 from .parallel import MachineModel, WorkSpanCounter
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .store import DecompositionArtifact, load_artifact, write_artifact
+from .service import DecompositionService
 
 __all__ = [
     "Community", "HierarchyQueryIndex", "hierarchy_statistics",
-    "decomposition_to_json", "load_coreness", "nuclei_to_rows",
+    "decomposition_from_dict", "decomposition_from_json",
+    "decomposition_to_dict", "decomposition_to_json", "load_coreness", "nuclei_to_rows",
     "k_clique_densest", "k_clique_densest_parallel",
     "tree_to_dot", "CorenessResult", "HierarchyTree", "NucleusDecomposition",
     "approx_arb_nucleus", "approximation_bound", "arb_nucleus",
-    "choose_method", "k_core", "k_truss", "nucleus_decomposition",
-    "DataStructureError", "GraphFormatError", "HierarchyError",
-    "ParameterError", "ReproError", "Graph", "barabasi_albert",
+    "choose_method", "decompose_to_artifact", "k_core", "k_truss",
+    "nucleus_decomposition",
+    "ArtifactError", "DataStructureError", "GraphFormatError",
+    "HierarchyError", "ParameterError", "ReproError", "ServiceError",
+    "Graph", "barabasi_albert",
     "erdos_renyi", "load_dataset", "planted_nuclei", "powerlaw_cluster",
     "read_edge_list", "watts_strogatz", "write_edge_list", "MachineModel",
-    "WorkSpanCounter", "__version__",
+    "WorkSpanCounter",
+    "DecompositionArtifact", "load_artifact", "write_artifact",
+    "DecompositionService", "__version__",
 ]

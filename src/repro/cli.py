@@ -7,6 +7,9 @@ shell, without writing Python:
     python -m repro decompose --dataset dblp --r 2 --s 4 --approx --delta 0.5
     python -m repro nuclei graph.txt --r 2 --s 3 --level 3
     python -m repro export graph.txt --r 2 --s 3 --format dot -o tree.dot
+    python -m repro store build --dataset dblp --r 2 --s 3 -o dblp.nda
+    python -m repro serve --artifact dblp.nda --port 8351
+    python -m repro query --artifact dblp.nda --op community --vertices 0,5
     python -m repro datasets
 
 Subcommands
@@ -14,13 +17,20 @@ Subcommands
 ``decompose``   run a decomposition, print the summary + hierarchy stats
 ``nuclei``      print the nuclei at one level (or the densest ones)
 ``export``      write the result as JSON or Graphviz DOT
+``store``       build / inspect persistent ``.nda`` artifacts
+``serve``       serve artifacts over HTTP (repro.service)
+``query``       query a local artifact or a running server
 ``verify``      re-derive and validate a decomposition (self-check)
 ``datasets``    list the built-in synthetic stand-in datasets
+
+Exit codes: 0 success; 1 a query ran cleanly but found nothing (e.g. no
+covering community); 2 usage or runtime error (message on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
 from typing import List, Optional
 
@@ -158,6 +168,146 @@ def cmd_verify(args: argparse.Namespace, out) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_store_build(args: argparse.Namespace, out) -> int:
+    from .store import write_artifact, load_artifact
+    result = _decompose(args)
+    index = HierarchyQueryIndex(result)
+    write_artifact(result, args.output, query_index=index)
+    with load_artifact(args.output) as artifact:
+        print(f"wrote {args.output}: {artifact.summary()}", file=out)
+    return 0
+
+
+def cmd_store_info(args: argparse.Namespace, out) -> int:
+    from .store import load_artifact
+    with load_artifact(args.artifact) as artifact:
+        if args.verify:
+            artifact.verify()
+        if args.format == "json":
+            doc = {"path": artifact.path,
+                   "meta": {k: v for k, v in artifact.meta.items()
+                            if k != "columns"},
+                   "stats": artifact.stats(),
+                   "columns": artifact.meta["columns"],
+                   "verified": bool(args.verify)}
+            print(_json.dumps(doc, indent=2, sort_keys=True), file=out)
+        else:
+            print(artifact.summary(), file=out)
+            for key, value in sorted(artifact.stats().items()):
+                print(f"  {key}: {value:g}", file=out)
+            if args.verify:
+                print("  payload checksum: OK", file=out)
+    return 0
+
+
+def _artifact_map(args: argparse.Namespace):
+    """Resolve repeated --artifact (and optional --name) flags to a map."""
+    import os
+    names = list(args.name or [])
+    if len(names) > len(args.artifact):
+        raise ReproError("more --name flags than --artifact flags")
+    mapping = {}
+    for i, path in enumerate(args.artifact):
+        name = names[i] if i < len(names) else \
+            os.path.splitext(os.path.basename(path))[0]
+        if name in mapping:
+            raise ReproError(f"duplicate artifact name {name!r}; "
+                             f"disambiguate with --name")
+        mapping[name] = path
+    return mapping
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    from .service.http import make_server
+    server = make_server(_artifact_map(args), host=args.host, port=args.port,
+                         cache_bytes=args.cache_bytes)
+    host, port = server.server_address[:2]
+    print(f"serving {len(args.artifact)} artifact(s) on "
+          f"http://{host}:{port} (Ctrl-C to stop)", file=out)
+    out.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _parse_ints(text: str, flag: str) -> List[int]:
+    try:
+        return [int(part) for part in text.replace(" ", "").split(",") if part]
+    except ValueError:
+        raise ReproError(f"{flag} expects comma-separated integers, "
+                         f"got {text!r}")
+
+
+def _format_communities(payload, out) -> None:
+    communities = payload.get("communities")
+    if communities is None:
+        communities = [payload["community"]] if payload.get("community") \
+            else []
+    if not communities:
+        print("no matching community", file=out)
+        return
+    rows = [(f"{c['level']:g}", len(c["vertices"]), c["n_r_cliques"],
+             f"{c['density']:.3f}",
+             " ".join(map(str, c["vertices"][:12]))
+             + (" ..." if len(c["vertices"]) > 12 else ""))
+            for c in communities]
+    print(format_table(("level", "|V|", "r-cliques", "density", "vertices"),
+                       rows), file=out)
+
+
+def cmd_query(args: argparse.Namespace, out) -> int:
+    if (args.url is None) == (args.artifact is None):
+        raise ReproError("provide exactly one of --url or --artifact")
+    params = {}
+    if args.name:
+        params["artifact"] = args.name
+    if args.vertices is not None:
+        params["vertices"] = _parse_ints(args.vertices, "--vertices")
+    if args.vertex is not None:
+        params["vertex"] = args.vertex
+    if args.clique is not None:
+        params["clique"] = _parse_ints(args.clique, "--clique")
+    if args.k is not None:
+        params["k"] = args.k
+    if args.min_level is not None:
+        params["min_level"] = args.min_level
+    if args.min_vertices is not None:
+        params["min_vertices"] = args.min_vertices
+
+    if args.url is not None:
+        from .service.http import http_query
+        try:
+            payload = http_query(args.url, args.op, params)
+        except OSError as exc:  # connection refused, DNS, timeout...
+            raise ReproError(f"cannot reach {args.url}: {exc}")
+        except ValueError as exc:  # malformed --url (urllib raises bare)
+            raise ReproError(f"invalid --url {args.url!r}: {exc}")
+    elif args.op in ("stats", "health", "artifacts"):
+        raise ReproError(f"--op {args.op} requires --url (a running server)")
+    else:
+        from .service import DecompositionService
+        service = DecompositionService()
+        params["artifact"] = service.register(args.artifact)
+        payload = service.query(args.op, params)
+
+    if args.format == "json":
+        print(_json.dumps(payload, indent=2, sort_keys=True), file=out)
+    elif args.op in ("stats", "health", "artifacts"):
+        print(_json.dumps(payload, indent=2, sort_keys=True), file=out)
+    elif args.op == "coreness":
+        print(f"clique {{{','.join(map(str, payload['clique']))}}} "
+              f"core {payload['core']:g}", file=out)
+    else:
+        _format_communities(payload, out)
+    if payload.get("found") is False:
+        return 1
+    return 0
+
+
 def cmd_datasets(args: argparse.Namespace, out) -> int:
     rows = []
     for name in dataset_names():
@@ -205,6 +355,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path (default: stdout)")
     p.set_defaults(func=cmd_export)
 
+    p = sub.add_parser("store", help="build / inspect .nda artifacts")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    p = store_sub.add_parser(
+        "build", help="decompose and write a persistent artifact")
+    _add_input_arguments(p)
+    _add_decomposition_arguments(p)
+    p.add_argument("-o", "--output", required=True,
+                   help="artifact path to write (convention: .nda)")
+    p.set_defaults(func=cmd_store_build)
+
+    p = store_sub.add_parser("info", help="print artifact metadata")
+    p.add_argument("artifact", help="path to a .nda artifact")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--verify", action="store_true",
+                   help="also recompute the payload checksum")
+    p.set_defaults(func=cmd_store_info)
+
+    p = sub.add_parser("serve", help="serve artifacts over HTTP")
+    p.add_argument("--artifact", action="append", required=True,
+                   metavar="PATH", help="artifact to serve (repeatable)")
+    p.add_argument("--name", action="append", metavar="NAME",
+                   help="name for the matching --artifact (default: "
+                        "file stem)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8351,
+                   help="port to bind (0 = ephemeral; default 8351)")
+    p.add_argument("--cache-bytes", type=int, default=None,
+                   help="artifact LRU cache budget in bytes")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query",
+                       help="query a local artifact or a running server")
+    p.add_argument("--url", default=None,
+                   help="base URL of a running `repro serve` instance")
+    p.add_argument("--artifact", default=None, metavar="PATH",
+                   help="query a local .nda artifact directly (no server)")
+    p.add_argument("--op", required=True,
+                   choices=("community", "membership", "strongest_community",
+                            "top_k_densest", "coreness", "stats", "health",
+                            "artifacts"))
+    p.add_argument("--name", default=None,
+                   help="artifact name on a multi-artifact server")
+    p.add_argument("--vertices", default=None,
+                   help="comma-separated vertex ids (community)")
+    p.add_argument("--vertex", type=int, default=None,
+                   help="vertex id (membership / strongest_community)")
+    p.add_argument("--clique", default=None,
+                   help="comma-separated r-clique vertices (coreness)")
+    p.add_argument("--k", type=int, default=None,
+                   help="result count (top_k_densest; default 10)")
+    p.add_argument("--min-level", type=float, default=None)
+    p.add_argument("--min-vertices", type=int, default=None)
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(func=cmd_query)
+
     p = sub.add_parser("verify", help="validate a decomposition end-to-end")
     _add_input_arguments(p)
     _add_decomposition_arguments(p)
@@ -232,3 +438,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe: not an error. Detach
+        # stdout so the interpreter's shutdown flush does not re-raise.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0

@@ -13,7 +13,8 @@ Algorithm map (paper -> module):
 * public façade                               -> :mod:`repro.core.api`
 """
 
-from .api import choose_method, k_core, k_truss, nucleus_decomposition
+from .api import (choose_method, decompose_to_artifact, k_core, k_truss,
+                  nucleus_decomposition)
 from .approx import (approx_anh_bl, approx_anh_el, approx_anh_te,
                      approx_arb_nucleus, approximation_bound, peel_approx)
 from .decomposition import NucleusDecomposition
@@ -32,7 +33,8 @@ from .tree import (HierarchyTree, HierarchyTreeBuilder,
                    tree_from_partition_chain)
 
 __all__ = [
-    "choose_method", "k_core", "k_truss", "nucleus_decomposition",
+    "choose_method", "decompose_to_artifact", "k_core", "k_truss",
+    "nucleus_decomposition",
     "approx_anh_bl", "approx_anh_el", "approx_anh_te", "approx_arb_nucleus",
     "approximation_bound", "peel_approx", "NucleusDecomposition",
     "DensestResult", "exact_density", "k_clique_densest",

@@ -199,6 +199,28 @@ def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
     return InterleavedResult(coreness, tree, dict(coreness.stats))
 
 
+def decompose_to_artifact(graph: Graph, r: int, s: int, path: str,
+                          **kwargs) -> str:
+    """Decompose ``graph`` and persist the result as a ``.nda`` artifact.
+
+    The compute-once entry point of the serving workflow: equivalent to
+    ``nucleus_decomposition`` followed by
+    :func:`repro.store.write_artifact`, building the query index exactly
+    once. Returns ``path``; load with :func:`repro.store.load_artifact`
+    or serve with ``repro serve``. All ``nucleus_decomposition`` keyword
+    arguments are accepted (``hierarchy=False`` is rejected -- the
+    artifact stores the hierarchy).
+    """
+    from ..store import write_artifact
+    from .queries import HierarchyQueryIndex
+    if kwargs.get("hierarchy") is False:
+        raise ParameterError(
+            "artifacts store the full hierarchy; drop hierarchy=False")
+    result = nucleus_decomposition(graph, r, s, **kwargs)
+    return write_artifact(result, path,
+                          query_index=HierarchyQueryIndex(result))
+
+
 def k_core(graph: Graph, **kwargs) -> NucleusDecomposition:
     """The (1, 2) nucleus decomposition (classic k-core)."""
     return nucleus_decomposition(graph, 1, 2, **kwargs)

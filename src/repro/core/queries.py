@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..analysis.density import edge_density
 from ..errors import ParameterError
 from .decomposition import NucleusDecomposition
@@ -52,6 +54,13 @@ class HierarchyQueryIndex:
 
     Construction is one pass over the tree (computing vertex sets
     bottom-up and a vertex -> leaves map); queries then walk tree paths.
+
+    The per-node vertex sets are memoized as one flat CSR pair of sorted
+    numpy arrays (``node_vertex_csr()``), and the vertex -> leaves map as
+    another (``vertex_leaf_csr()``). This is exactly the on-disk column
+    layout of :mod:`repro.store`, so building an artifact is a copy of
+    these arrays, and a loaded artifact answers queries over the same
+    representation.
     """
 
     def __init__(self, decomposition: NucleusDecomposition) -> None:
@@ -64,37 +73,126 @@ class HierarchyQueryIndex:
         index = decomposition.index
         tree = self.tree
         # Vertex sets per node, bottom-up (children before parents).
-        self._vertices: List[Set[int]] = [set() for _ in range(tree.n_nodes)]
-        self._n_leaves_under: List[int] = [0] * tree.n_nodes
+        vertex_sets: List[Set[int]] = [set() for _ in range(tree.n_nodes)]
+        n_leaves_under = [0] * tree.n_nodes
         order = sorted(range(tree.n_nodes),
                        key=lambda node: tree.level[node], reverse=True)
         for node in order:
             if tree.is_leaf(node):
-                self._vertices[node].update(index.clique_of(node))
-                self._n_leaves_under[node] = 1
+                vertex_sets[node].update(index.clique_of(node))
+                n_leaves_under[node] = 1
             par = tree.parent[node]
             if par != NO_PARENT:
-                self._vertices[par].update(self._vertices[node])
-                self._n_leaves_under[par] += self._n_leaves_under[node]
+                vertex_sets[par].update(vertex_sets[node])
+                n_leaves_under[par] += n_leaves_under[node]
+        self._n_leaves_under = np.asarray(n_leaves_under, dtype=np.int64)
+        # Freeze the sets into one sorted CSR pair: indptr[node] ..
+        # indptr[node+1] slices the sorted vertex ids of that node.
+        indptr = np.zeros(tree.n_nodes + 1, dtype=np.int64)
+        for node, vs in enumerate(vertex_sets):
+            indptr[node + 1] = indptr[node] + len(vs)
+        data = np.empty(int(indptr[-1]), dtype=np.int64)
+        for node, vs in enumerate(vertex_sets):
+            data[indptr[node]:indptr[node + 1]] = sorted(vs)
+        self._node_indptr = indptr
+        self._node_vertices = data
         # Every leaf (r-clique) each vertex belongs to: vertex queries
         # must consider all of them, since they may sit in different
-        # subtrees of the forest.
-        self._leaves_of_vertex: Dict[int, List[int]] = {}
+        # subtrees of the forest. CSR keyed by vertex id.
+        leaf_counts = np.zeros(self.graph.n + 1, dtype=np.int64)
         for leaf in range(tree.n_leaves):
             for v in index.clique_of(leaf):
-                self._leaves_of_vertex.setdefault(v, []).append(leaf)
+                leaf_counts[v + 1] += 1
+        vptr = np.cumsum(leaf_counts, dtype=np.int64)
+        vdata = np.empty(int(vptr[-1]), dtype=np.int64)
+        cursor = vptr[:-1].copy()
+        for leaf in range(tree.n_leaves):
+            for v in index.clique_of(leaf):
+                vdata[cursor[v]] = leaf
+                cursor[v] += 1
+        self._vertex_indptr = vptr
+        self._vertex_leaves = vdata
+        self._communities: Dict[int, Community] = {}
+
+    # -- array surface (shared with repro.store) ---------------------------
+
+    def __len__(self) -> int:
+        """Number of nuclei (internal nodes) in the index."""
+        return self.tree.n_internal
+
+    def node_vertex_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indptr, data)``: sorted vertex ids per tree node, flattened."""
+        return self._node_indptr, self._node_vertices
+
+    def vertex_leaf_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(indptr, data)``: leaf (r-clique) ids per vertex, flattened."""
+        return self._vertex_indptr, self._vertex_leaves
+
+    def n_leaves_under(self) -> np.ndarray:
+        """Leaf count per tree node (leaves count as 1)."""
+        return self._n_leaves_under
+
+    def vertices_of(self, node: int) -> np.ndarray:
+        """Sorted vertex ids of ``node``'s nucleus (read-only view)."""
+        return self._node_vertices[
+            self._node_indptr[node]:self._node_indptr[node + 1]]
+
+    def n_vertices_of(self, node: int) -> int:
+        return int(self._node_indptr[node + 1] - self._node_indptr[node])
+
+    def node_density(self, node: int) -> float:
+        """Edge density of ``node``'s nucleus (memoized via Community)."""
+        return self._community_at(node).density
+
+    def leaves_of_vertex(self, vertex: int) -> np.ndarray:
+        """Leaf (r-clique) ids containing ``vertex`` (read-only view)."""
+        if not 0 <= vertex < self.graph.n:
+            return np.empty(0, dtype=np.int64)
+        return self._vertex_leaves[
+            self._vertex_indptr[vertex]:self._vertex_indptr[vertex + 1]]
+
+    def stats(self) -> Dict[str, float]:
+        """Structural + size summary (the service's per-artifact report)."""
+        levels = self.tree.distinct_levels()
+        return {
+            "n_leaves": self.tree.n_leaves,
+            "n_nuclei": self.tree.n_internal,
+            "n_nodes": self.tree.n_nodes,
+            "n_roots": len(self.tree.roots()),
+            "max_level": float(levels[0]) if levels else 0.0,
+            "n_vertices": int((self._vertex_indptr[1:]
+                               > self._vertex_indptr[:-1]).sum()),
+            "n_vertex_entries": int(self._node_indptr[-1]),
+            "index_bytes": int(self._node_indptr.nbytes
+                               + self._node_vertices.nbytes
+                               + self._vertex_indptr.nbytes
+                               + self._vertex_leaves.nbytes
+                               + self._n_leaves_under.nbytes),
+        }
 
     # -- internals ---------------------------------------------------------
 
+    def _contains_all(self, node: int, vertices: Sequence[int]) -> bool:
+        """Whether every query vertex is in ``node``'s sorted vertex slice."""
+        mine = self.vertices_of(node)
+        pos = np.searchsorted(mine, list(vertices))
+        return bool(np.all(pos < len(mine))
+                    and np.all(mine[np.minimum(pos, len(mine) - 1)]
+                               == list(vertices)))
+
     def _community_at(self, node: int) -> Community:
-        vertices = tuple(sorted(self._vertices[node]))
-        return Community(
-            node=node,
-            level=self.tree.level[node],
-            vertices=vertices,
-            n_r_cliques=self._n_leaves_under[node],
-            density=edge_density(self.graph, vertices),
-        )
+        cached = self._communities.get(node)
+        if cached is None:
+            vertices = tuple(int(v) for v in self.vertices_of(node))
+            cached = Community(
+                node=node,
+                level=self.tree.level[node],
+                vertices=vertices,
+                n_r_cliques=int(self._n_leaves_under[node]),
+                density=edge_density(self.graph, vertices),
+            )
+            self._communities[node] = cached
+        return cached
 
     def _ancestors(self, node: int) -> List[int]:
         out = [node]
@@ -109,14 +207,14 @@ class HierarchyQueryIndex:
         deduplicated, ordered by (level, -size).
         """
         seen: Set[int] = set()
-        for leaf in self._leaves_of_vertex.get(vertex, ()):
-            for node in self._ancestors(leaf):
+        for leaf in self.leaves_of_vertex(vertex):
+            for node in self._ancestors(int(leaf)):
                 if node in seen:
                     break  # the rest of this chain is already recorded
                 seen.add(node)
         return sorted(seen,
                       key=lambda n: (self.tree.level[n],
-                                     -len(self._vertices[n])),
+                                     -self.n_vertices_of(n)),
                       reverse=True)
 
     # -- queries -----------------------------------------------------------
@@ -136,6 +234,7 @@ class HierarchyQueryIndex:
         for v in query:
             if not 0 <= v < self.graph.n:
                 raise ParameterError(f"vertex {v} out of range")
+        sorted_query = sorted(query)
         anchor = next(iter(query))
         best: Optional[int] = None
         for node in self._nodes_containing(anchor):
@@ -145,7 +244,7 @@ class HierarchyQueryIndex:
                 continue
             if self.tree.level[node] < min_level:
                 continue
-            if not query <= self._vertices[node]:
+            if not self._contains_all(node, sorted_query):
                 continue
             if best is None or self._better_community(node, best):
                 best = node
@@ -155,14 +254,14 @@ class HierarchyQueryIndex:
         la, lb = self.tree.level[a], self.tree.level[b]
         if la != lb:
             return la > lb
-        return len(self._vertices[a]) < len(self._vertices[b])
+        return self.n_vertices_of(a) < self.n_vertices_of(b)
 
     def strongest_community(self, vertex: int,
                             min_vertices: int = 2) -> Optional[Community]:
         """The deepest nucleus of size >= ``min_vertices`` containing ``vertex``."""
         for node in self._nodes_containing(vertex):
             if (self.tree.level[node] >= 1
-                    and len(self._vertices[node]) >= min_vertices
+                    and self.n_vertices_of(node) >= min_vertices
                     and not self.tree.is_leaf(node)):
                 return self._community_at(node)
         return None
@@ -180,7 +279,7 @@ class HierarchyQueryIndex:
         candidates = [
             self._community_at(node)
             for node in range(self.tree.n_leaves, self.tree.n_nodes)
-            if len(self._vertices[node]) >= min_vertices
+            if self.n_vertices_of(node) >= min_vertices
         ]
         candidates.sort(key=lambda c: (c.density, c.level, -len(c)),
                         reverse=True)
@@ -193,7 +292,7 @@ class HierarchyQueryIndex:
         candidates = [
             self._community_at(node)
             for node in range(self.tree.n_leaves, self.tree.n_nodes)
-            if len(self._vertices[node]) >= min_vertices
+            if self.n_vertices_of(node) >= min_vertices
         ]
         candidates.sort(key=lambda c: (c.level, c.density), reverse=True)
         return candidates[:k]

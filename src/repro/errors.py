@@ -39,3 +39,24 @@ class DataStructureError(ReproError):
 
 class HierarchyError(ReproError):
     """Raised when a hierarchy tree fails a structural invariant."""
+
+
+class ArtifactError(ReproError):
+    """Raised when a decomposition artifact cannot be read or verified.
+
+    Typical causes: wrong magic bytes, an unsupported format version, a
+    corrupted or truncated file, or a checksum mismatch (see
+    :mod:`repro.store`).
+    """
+
+
+class ServiceError(ReproError):
+    """Raised for invalid requests to the decomposition query service.
+
+    Carries an HTTP-ish ``status`` so the HTTP front end can map service
+    failures to response codes without string matching.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status

@@ -5,12 +5,17 @@ Makes the library's outputs durable and toolable:
 * :func:`decomposition_to_dict` / :func:`decomposition_to_json` -- a
   stable JSON document with the core numbers (keyed by r-clique vertex
   tuples), the hierarchy (parents / levels / leaf sets), and run
-  statistics; :func:`load_coreness` reads the core numbers back.
+  statistics; :func:`decomposition_from_dict` rebuilds a full
+  :class:`NucleusDecomposition` from the document (given the graph), and
+  :func:`load_coreness` reads just the core-number table.
 * :func:`tree_to_dot` -- Graphviz DOT for the hierarchy forest, the
   paper's Figure 1/3-style visualization (no dependencies; render with
   ``dot -Tpng``).
 * :func:`nuclei_to_rows` -- flat (level, size, density, vertices) rows
   for spreadsheets.
+
+For a compact, random-access binary artifact (rather than row-per-clique
+JSON), see :mod:`repro.store`.
 """
 
 from __future__ import annotations
@@ -100,14 +105,98 @@ def load_coreness(source: PathOrFile) -> Dict[Tuple[int, ...], float]:
             for entry in doc["coreness"]}
 
 
+def decomposition_from_dict(doc: Dict,
+                            graph) -> NucleusDecomposition:
+    """Rebuild a :class:`NucleusDecomposition` from its JSON document.
+
+    The inverse of :func:`decomposition_to_dict`, closing the round-trip
+    that :func:`load_coreness` only covered for core numbers. ``graph``
+    must be the graph the document was produced from (the JSON records
+    only its name and size); it is validated against the recorded ``n``
+    and ``m``. Work--span meters are not serialized, so the rebuilt
+    result carries zero meters; everything queryable -- coreness, clique
+    index, hierarchy tree, stats -- is restored exactly.
+    """
+    from .cliques.index import CliqueIndex
+    from .core.nucleus import CorenessResult
+    from .core.tree import HierarchyTree
+    from .parallel.counters import WorkSpanSnapshot
+
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ParameterError(
+            f"unsupported schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})")
+    recorded = doc.get("graph", {})
+    if (recorded.get("n") is not None and recorded["n"] != graph.n) or \
+            (recorded.get("m") is not None and recorded["m"] != graph.m):
+        raise ParameterError(
+            f"graph mismatch: document records n={recorded.get('n')}, "
+            f"m={recorded.get('m')} but the given graph has n={graph.n}, "
+            f"m={graph.m}")
+    r = int(doc["r"])
+    cliques = [tuple(entry["clique"]) for entry in doc["coreness"]]
+    index = CliqueIndex(cliques, r=r)
+    core: List[float] = [0.0] * len(index)
+    for entry in doc["coreness"]:
+        core[index.id_of(entry["clique"])] = float(entry["core"])
+    coreness = CorenessResult(
+        core=core, rho=int(doc["peeling_rounds"]),
+        k_max=float(doc["max_core"]), n_r=int(doc["n_r_cliques"]),
+        n_s=int(doc["n_s_cliques"]), work_span=WorkSpanSnapshot(0, 0),
+        stats=dict(doc.get("stats", {})))
+    tree = None
+    if "hierarchy" in doc:
+        hier = doc["hierarchy"]
+        n_leaves = int(hier["n_leaves"])
+        parent = [int(p) for p in hier["parent"]]
+        level = list(hier["level"])
+        # ``rep`` (each internal node's representative leaf) is not part
+        # of the document; any leaf under the node is a valid
+        # representative, so take the smallest from the recorded nuclei.
+        rep = list(range(len(parent)))
+        for nucleus in hier.get("nuclei", []):
+            if nucleus["r_cliques"]:
+                rep[int(nucleus["node"])] = int(min(nucleus["r_cliques"]))
+        tree = HierarchyTree(n_leaves, parent, level, rep)
+    return NucleusDecomposition(
+        graph=graph, r=r, s=int(doc["s"]), method=doc.get("method", ""),
+        index=index, coreness=coreness, tree=tree,
+        stats=dict(doc.get("stats", {})),
+        seconds_total=float(doc.get("seconds_total", 0.0)),
+        approx_delta=doc.get("approx_delta"))
+
+
+def decomposition_from_json(source: PathOrFile, graph) -> NucleusDecomposition:
+    """Read a JSON document (path or file object) back into a result."""
+    if hasattr(source, "read"):
+        doc = json.load(source)  # type: ignore[arg-type]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    return decomposition_from_dict(doc, graph)
+
+
+def _dot_quote(label: str) -> str:
+    """A double-quoted DOT string with ``\\`` and ``"`` escaped.
+
+    Without the escaping, a label containing ``"`` (e.g. from a custom
+    ``leaf_labels`` map) terminates the quoted string early and produces
+    invalid DOT.
+    """
+    return '"' + label.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
 def tree_to_dot(result: NucleusDecomposition, max_leaves: int = 200,
-                include_leaves: bool = True) -> str:
+                include_leaves: bool = True,
+                leaf_labels: Optional[Dict[int, str]] = None) -> str:
     """Graphviz DOT rendering of the hierarchy forest.
 
     Internal nodes are boxes labeled ``level / #vertices``; leaves are the
-    r-clique vertex tuples. Trees with more than ``max_leaves`` leaves
-    drop the leaf layer automatically (set ``include_leaves=False`` to
-    force that).
+    r-clique vertex tuples (or ``leaf_labels[leaf_id]`` when a custom map
+    is given -- labels are escaped, so quotes are safe). Trees with more
+    than ``max_leaves`` leaves drop the leaf layer automatically (set
+    ``include_leaves=False`` to force that).
     """
     tree = result.tree
     if tree is None:
@@ -118,13 +207,19 @@ def tree_to_dot(result: NucleusDecomposition, max_leaves: int = 200,
              "  node [fontsize=10];"]
     for node in range(tree.n_leaves, tree.n_nodes):
         vertices = nucleus_vertices(result.index, tree.leaves_under(node))
-        lines.append(
-            f'  n{node} [shape=box, label="level {tree.level[node]:g}\\n'
-            f'{len(vertices)} vertices"];')
+        label = _dot_quote(f"level {tree.level[node]:g}\n"
+                           f"{len(vertices)} vertices"
+                           ).replace("\n", "\\n")
+        lines.append(f'  n{node} [shape=box, label={label}];')
     if include_leaves:
         for leaf in range(tree.n_leaves):
-            label = ",".join(map(str, result.index.clique_of(leaf)))
-            lines.append(f'  n{leaf} [shape=ellipse, label="{{{label}}}"];')
+            if leaf_labels is not None and leaf in leaf_labels:
+                text = leaf_labels[leaf]
+            else:
+                text = ("{" + ",".join(map(str, result.index.clique_of(leaf)))
+                        + "}")
+            lines.append(f'  n{leaf} [shape=ellipse, '
+                         f'label={_dot_quote(text)}];')
     for node in range(tree.n_nodes):
         par = tree.parent[node]
         if par == NO_PARENT:

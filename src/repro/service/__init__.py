@@ -1,0 +1,35 @@
+"""Concurrent query serving over persistent decomposition artifacts.
+
+The serving half of the compute-once / query-many workflow that the
+hierarchy exists for (paper Section 1, Figure 10):
+
+* :class:`~repro.service.core.DecompositionService` -- the in-process
+  engine: an LRU artifact cache with a byte budget, five query
+  endpoints, batch execution, and per-endpoint latency / hit-rate
+  counters built on :mod:`repro.parallel.counters`.
+* :mod:`repro.service.http` -- a dependency-free ``ThreadingHTTPServer``
+  front end plus the matching client helpers.
+
+Quickstart::
+
+    from repro.service import DecompositionService
+
+    svc = DecompositionService({"dblp": "dblp-2-3.nda"})
+    svc.query("community", {"vertices": [0, 5]})
+    svc.batch([{"op": "membership", "vertex": v} for v in range(100)])
+    svc.stats()                        # latencies, hit rates, volumes
+
+Or from the shell: ``repro serve --artifact dblp-2-3.nda`` and
+``repro query --url http://127.0.0.1:8351 --op community --vertices 0,5``.
+"""
+
+from .core import (DEFAULT_CACHE_BYTES, ENDPOINTS, ArtifactCache,
+                   DecompositionService, community_to_dict)
+from .http import (ServiceHTTPServer, http_batch, http_query, make_server,
+                   serve_background)
+
+__all__ = [
+    "DecompositionService", "ArtifactCache", "community_to_dict",
+    "DEFAULT_CACHE_BYTES", "ENDPOINTS", "ServiceHTTPServer", "make_server",
+    "serve_background", "http_query", "http_batch",
+]

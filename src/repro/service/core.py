@@ -1,0 +1,366 @@
+"""The in-process decomposition query service.
+
+:class:`DecompositionService` serves community-search queries over a set
+of registered ``.nda`` artifacts (see :mod:`repro.store`): the compute
+layer answers each request against a mmap-loaded
+:class:`~repro.store.artifact.DecompositionArtifact`, held in an LRU
+cache with a byte budget, with per-endpoint latency and cache hit-rate
+counters. The HTTP front end (:mod:`repro.service.http`) is a thin
+transport over this class; embedding callers can use it directly.
+
+Concurrency model: artifacts are immutable read-only mappings, so query
+execution needs no locking -- only the cache bookkeeping and the
+counters take a lock, and those critical sections are O(1). A
+``ThreadingHTTPServer`` front end therefore scales reads across threads
+(the GIL is released during page faults on the mapped columns).
+
+Batching: :meth:`batch` accepts N queries in one call and resolves each
+artifact exactly once for the whole batch, answering all member queries
+off that one index -- the per-request overhead (cache lookup, counter
+bookkeeping) is paid once per batch, not once per query. The batch is
+metered into the endpoint's work--span counter as one parallel round
+over its queries (:meth:`~repro.parallel.counters.WorkSpanCounter.
+add_parallel_for`), consistent with the library's simulated-parallelism
+conventions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.queries import Community
+from ..errors import ArtifactError, ParameterError, ReproError, ServiceError
+from ..parallel.counters import WorkSpanCounter
+from ..store.artifact import DecompositionArtifact, load_artifact
+
+#: Default artifact-cache budget (bytes of mapped files kept hot).
+DEFAULT_CACHE_BYTES = 1 << 28  # 256 MiB
+
+#: The query operations the service answers (plus "batch" on top).
+ENDPOINTS = ("community", "membership", "strongest_community",
+             "top_k_densest", "coreness")
+
+
+def community_to_dict(community: Community) -> Dict[str, Any]:
+    """JSON shape of one community result."""
+    return {
+        "node": community.node,
+        "level": float(community.level),
+        "vertices": list(community.vertices),
+        "n_r_cliques": community.n_r_cliques,
+        "density": community.density,
+    }
+
+
+@dataclass
+class EndpointCounters:
+    """Latency + volume counters for one endpoint.
+
+    ``work_span`` reuses the library's :class:`~repro.parallel.counters.
+    WorkSpanCounter`: each served query charges one unit of work, and a
+    batch charges one parallel round over its members, so the snapshot's
+    ``parallelism`` reads as the average batch width.
+    """
+
+    requests: int = 0
+    errors: int = 0
+    seconds_total: float = 0.0
+    seconds_max: float = 0.0
+    work_span: WorkSpanCounter = field(default_factory=WorkSpanCounter)
+
+    def record(self, seconds: float, n_queries: int = 1,
+               error: bool = False) -> None:
+        self.requests += n_queries
+        if error:
+            self.errors += 1
+        self.seconds_total += seconds
+        self.seconds_max = max(self.seconds_max, seconds)
+        self.work_span.add_parallel_for(n_queries)
+
+    def snapshot(self) -> Dict[str, float]:
+        mean = self.seconds_total / self.requests if self.requests else 0.0
+        ws = self.work_span.snapshot()
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds_total": self.seconds_total,
+            "seconds_mean": mean,
+            "seconds_max": self.seconds_max,
+            "work": ws.work,
+            "span": ws.span,
+        }
+
+
+class ArtifactCache:
+    """LRU cache of loaded artifacts under a byte budget.
+
+    Eviction drops the cache's reference; an artifact still in use by an
+    in-flight query stays mapped until that query finishes (the OS unmaps
+    when the last reference dies), so eviction is always safe under
+    concurrency. ``budget_bytes <= 0`` disables caching (every ``get``
+    loads fresh).
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[str, DecompositionArtifact]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, path: str) -> DecompositionArtifact:
+        with self._lock:
+            cached = self._entries.get(path)
+            if cached is not None:
+                self._entries.move_to_end(path)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        # Load outside the lock: concurrent misses may load the same
+        # artifact twice, but never block each other on disk I/O.
+        artifact = load_artifact(path)
+        with self._lock:
+            existing = self._entries.get(path)
+            if existing is not None:
+                return existing
+            if self.budget_bytes > 0:
+                self._entries[path] = artifact
+                self._shrink()
+        return artifact
+
+    def _shrink(self) -> None:
+        total = sum(a.nbytes for a in self._entries.values())
+        while total > self.budget_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            total -= evicted.nbytes
+            self.evictions += 1
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(a.nbytes for a in self._entries.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+                "resident": len(self._entries),
+                "resident_bytes": sum(a.nbytes
+                                      for a in self._entries.values()),
+                "budget_bytes": self.budget_bytes,
+            }
+
+
+class DecompositionService:
+    """Concurrent query service over registered decomposition artifacts."""
+
+    def __init__(self, artifacts: Optional[Dict[str, str]] = None,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self._paths: Dict[str, str] = {}
+        self._cache = ArtifactCache(cache_bytes)
+        self._counters: Dict[str, EndpointCounters] = {
+            name: EndpointCounters() for name in ENDPOINTS + ("batch",)}
+        self._lock = threading.Lock()
+        self.started = time.time()
+        for name, path in (artifacts or {}).items():
+            self.register(path, name=name)
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, path: str, name: Optional[str] = None) -> str:
+        """Register an artifact path under ``name`` (default: file stem).
+
+        The header is validated eagerly so a bad path fails at
+        registration, not at first query.
+        """
+        if name is None:
+            name = os.path.splitext(os.path.basename(path))[0]
+        load_artifact(path).close()  # header validation only
+        with self._lock:
+            self._paths[name] = path
+        return name
+
+    def artifact_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._paths)
+
+    def _resolve(self, name: Optional[str]) -> DecompositionArtifact:
+        with self._lock:
+            if name is None:
+                if len(self._paths) != 1:
+                    raise ServiceError(
+                        f"request must name an artifact (registered: "
+                        f"{sorted(self._paths)})", status=400)
+                path = next(iter(self._paths.values()))
+            else:
+                path = self._paths.get(str(name))
+                if path is None:
+                    raise ServiceError(
+                        f"unknown artifact {name!r} (registered: "
+                        f"{sorted(self._paths)})", status=404)
+        return self._cache.get(path)
+
+    # -- query dispatch ----------------------------------------------------
+
+    def query(self, op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one query; records latency + counters for ``op``.
+
+        Raises :class:`ServiceError` for malformed requests; the payload
+        of a successful answer is always JSON-serializable.
+        """
+        if op not in ENDPOINTS:
+            raise ServiceError(
+                f"unknown operation {op!r} (have {ENDPOINTS})", status=404)
+        counter = self._counters[op]
+        start = time.perf_counter()
+        try:
+            artifact = self._resolve(params.get("artifact"))
+            result = self._dispatch(artifact, op, params)
+        except ReproError:
+            with self._lock:
+                counter.record(time.perf_counter() - start, error=True)
+            raise
+        with self._lock:
+            counter.record(time.perf_counter() - start)
+        return result
+
+    def batch(self, queries: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Answer N queries in one call, resolving each artifact once.
+
+        Queries are grouped by artifact; each group is answered off a
+        single resolved index. Per-query failures are reported in place
+        as ``{"error": {...}}`` entries -- one bad query never poisons
+        the rest of the batch.
+        """
+        if not isinstance(queries, (list, tuple)):
+            raise ServiceError("batch expects a list of query objects")
+        start = time.perf_counter()
+        results: List[Optional[Dict[str, Any]]] = [None] * len(queries)
+        groups: "OrderedDict[Any, List[int]]" = OrderedDict()
+        for i, q in enumerate(queries):
+            if not isinstance(q, dict):
+                results[i] = _error_payload(
+                    ServiceError("each batch entry must be an object"))
+                continue
+            groups.setdefault(q.get("artifact"), []).append(i)
+        for artifact_name, members in groups.items():
+            try:
+                artifact = self._resolve(artifact_name)
+            except ReproError as exc:
+                for i in members:
+                    results[i] = _error_payload(exc)
+                continue
+            for i in members:
+                q = queries[i]
+                op = q.get("op")
+                try:
+                    if op not in ENDPOINTS:
+                        raise ServiceError(
+                            f"unknown operation {op!r} (have {ENDPOINTS})",
+                            status=404)
+                    results[i] = self._dispatch(artifact, op, q)
+                except ReproError as exc:
+                    results[i] = _error_payload(exc)
+        with self._lock:
+            self._counters["batch"].record(time.perf_counter() - start,
+                                           n_queries=max(1, len(queries)))
+        return [r if r is not None else
+                _error_payload(ServiceError("unprocessed batch entry"))
+                for r in results]
+
+    def _dispatch(self, artifact: DecompositionArtifact, op: str,
+                  params: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            if op == "community":
+                vertices = _require(params, "vertices", list)
+                community = artifact.community(
+                    vertices,
+                    min_level=float(params.get("min_level", 1.0)))
+                return _maybe_community(community)
+            if op == "membership":
+                vertex = _require(params, "vertex", int)
+                chain = artifact.membership(vertex)
+                return {"found": bool(chain),
+                        "communities": [community_to_dict(c) for c in chain]}
+            if op == "strongest_community":
+                vertex = _require(params, "vertex", int)
+                community = artifact.strongest_community(
+                    vertex, min_vertices=int(params.get("min_vertices", 2)))
+                return _maybe_community(community)
+            if op == "top_k_densest":
+                top = artifact.top_k_densest(
+                    int(params.get("k", 10)),
+                    min_vertices=int(params.get("min_vertices", 3)))
+                return {"found": bool(top),
+                        "communities": [community_to_dict(c) for c in top]}
+            # op == "coreness"
+            clique = _require(params, "clique", list)
+            return {"clique": sorted(int(v) for v in clique),
+                    "core": artifact.core_of(clique)}
+        except (ParameterError, ArtifactError) as exc:
+            raise ServiceError(str(exc), status=400)
+
+    # -- introspection -----------------------------------------------------
+
+    def artifact_info(self) -> List[Dict[str, Any]]:
+        """Name, path, and stats of every registered artifact."""
+        out = []
+        for name in self.artifact_names():
+            with self._lock:
+                path = self._paths[name]
+            artifact = self._cache.get(path)
+            out.append({"name": name, "path": path,
+                        "meta": {k: v for k, v in artifact.meta.items()
+                                 if k != "columns"},
+                        "stats": artifact.stats()})
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot: per-endpoint latency + cache hit rates."""
+        with self._lock:
+            endpoints = {name: counter.snapshot()
+                         for name, counter in self._counters.items()}
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "artifacts": self.artifact_names(),
+            "cache": self._cache.snapshot(),
+            "endpoints": endpoints,
+        }
+
+
+def _require(params: Dict[str, Any], key: str, kind: type) -> Any:
+    value = params.get(key)
+    if value is None:
+        raise ServiceError(f"missing required parameter {key!r}")
+    if kind is int:
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise ServiceError(f"parameter {key!r} must be an integer, "
+                               f"got {value!r}")
+    if kind is list and not isinstance(value, (list, tuple)):
+        raise ServiceError(f"parameter {key!r} must be a list, got "
+                           f"{type(value).__name__}")
+    return value
+
+
+def _maybe_community(community: Optional[Community]) -> Dict[str, Any]:
+    if community is None:
+        return {"found": False, "community": None}
+    return {"found": True, "community": community_to_dict(community)}
+
+
+def _error_payload(exc: Exception) -> Dict[str, Any]:
+    status = getattr(exc, "status", 400)
+    return {"error": {"type": type(exc).__name__, "message": str(exc),
+                      "status": status}}

@@ -1,0 +1,31 @@
+"""Persistent decomposition artifacts: compute once, serve forever.
+
+The ``.nda`` format stores one :class:`~repro.core.decomposition.
+NucleusDecomposition` -- coreness, clique tuples, the hierarchy tree, and
+the precomputed query-index arrays -- as flat, 64-byte-aligned numpy
+columns behind a checksummed header. Writing is atomic; loading is a
+single ``mmap`` so artifacts of any size open in milliseconds and share
+pages across processes.
+
+    from repro import nucleus_decomposition
+    from repro.store import write_artifact, load_artifact
+
+    result = nucleus_decomposition(graph, 2, 3)
+    write_artifact(result, "graph-2-3.nda")
+    art = load_artifact("graph-2-3.nda")     # zero-copy, instant
+    art.community([0, 5])                    # same answers as the
+    art.top_k_densest(10)                    # in-memory query index
+
+See :mod:`repro.store.format` for the layout and
+:mod:`repro.service` for the concurrent query front end.
+"""
+
+from .artifact import DecompositionArtifact, load_artifact
+from .format import (EXTENSION, FORMAT_VERSION, MAGIC, SUPPORTED_VERSIONS,
+                     read_header, write_artifact)
+
+__all__ = [
+    "DecompositionArtifact", "load_artifact", "write_artifact",
+    "read_header", "EXTENSION", "FORMAT_VERSION", "MAGIC",
+    "SUPPORTED_VERSIONS",
+]

@@ -1,0 +1,341 @@
+"""Zero-copy artifact loading and queries over the mapped columns.
+
+:func:`load_artifact` memory-maps a ``.nda`` file (see
+:mod:`repro.store.format`) and returns a :class:`DecompositionArtifact`
+whose query surface mirrors :class:`~repro.core.queries.HierarchyQueryIndex`
+-- ``community`` / ``strongest_community`` / ``membership`` /
+``top_k_densest`` / ``top_k_deepest`` / ``coreness`` -- with **identical
+answers** (the differential tests in ``tests/test_store.py`` pin this).
+The columns are read-only views into one shared ``numpy.memmap``, so:
+
+* opening costs header validation plus one ``mmap(2)`` -- milliseconds
+  regardless of artifact size;
+* nothing is resident until touched, and touched pages live in the OS
+  page cache, shared between every process mapping the same file;
+* the object pickles as its path (:meth:`__reduce__`), so broadcasting
+  it through a :class:`~repro.parallel.backend.ProcessBackend` ships a
+  few bytes and each worker re-maps the same physical pages.
+
+Densities are precomputed at build time, so no graph is needed at query
+time -- the artifact is the complete serving index.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.queries import Community
+from ..core.tree import NO_PARENT
+from ..errors import ArtifactError, ParameterError
+from .format import read_header
+
+__all__ = ["DecompositionArtifact", "load_artifact"]
+
+
+class DecompositionArtifact:
+    """A mmap-backed, read-only nucleus decomposition (one ``.nda`` file)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        payload_start, meta = read_header(path)
+        self.meta = meta
+        self._buffer = np.memmap(path, dtype=np.uint8, mode="r")
+        self._columns: Dict[str, np.ndarray] = {}
+        for entry in meta["columns"]:
+            start = payload_start + entry["offset"]
+            raw = self._buffer[start:start + entry["nbytes"]]
+            array = raw.view(np.dtype(entry["dtype"]))
+            self._columns[entry["name"]] = array.reshape(
+                tuple(entry["shape"]))
+        try:
+            self.core = self._columns["core"]
+            self.cliques = self._columns["cliques"]
+            self.parent = self._columns["parent"]
+            self.level = self._columns["level"]
+            self.rep = self._columns["rep"]
+            self._n_leaves_under = self._columns["n_leaves_under"]
+            self._node_indptr = self._columns["node_indptr"]
+            self._node_vertices = self._columns["node_vertices"]
+            self._vertex_indptr = self._columns["vertex_indptr"]
+            self._vertex_leaves = self._columns["vertex_leaves"]
+            self.density = self._columns["density"]
+        except KeyError as exc:
+            raise ArtifactError(f"{path}: missing column {exc}")
+        self.r = int(meta["r"])
+        self.s = int(meta["s"])
+        self.n_leaves = int(meta["n_r_cliques"])
+        self.n_nodes = int(self.parent.shape[0])
+        self.graph_n = int(self._vertex_indptr.shape[0]) - 1
+        self._encoded: Optional[Tuple[Optional[np.ndarray], int]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the mapping (views become invalid); idempotent."""
+        self._columns.clear()
+        self._buffer = None
+
+    def __enter__(self) -> "DecompositionArtifact":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __reduce__(self):
+        # Pickle as the path: workers re-map the same file (page-cache
+        # shared) instead of serializing gigabytes of columns.
+        return (load_artifact, (self.path,))
+
+    @property
+    def nbytes(self) -> int:
+        """Mapped file size in bytes (the LRU cache's cost metric)."""
+        return int(self._buffer.shape[0]) if self._buffer is not None else 0
+
+    def verify(self) -> bool:
+        """Recompute the payload CRC-32 against the recorded one.
+
+        This touches every page (O(file size)); it is the integrity
+        check deliberately *not* run on open. Raises
+        :class:`ArtifactError` on mismatch, returns ``True`` otherwise.
+        """
+        crc = 0
+        for entry in self.meta["columns"]:
+            crc = zlib.crc32(self._columns[entry["name"]].tobytes(), crc)
+        if crc != self.meta.get("payload_crc32"):
+            raise ArtifactError(
+                f"{self.path}: payload checksum mismatch (stored "
+                f"{self.meta.get('payload_crc32')}, computed {crc})")
+        return True
+
+    # -- structure ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of nuclei (internal nodes), as on HierarchyQueryIndex."""
+        return self.n_nodes - self.n_leaves
+
+    def is_leaf(self, node: int) -> bool:
+        return node < self.n_leaves
+
+    def clique_of(self, rid: int) -> Tuple[int, ...]:
+        """Canonical vertex tuple of r-clique ``rid``."""
+        if not 0 <= rid < self.n_leaves:
+            raise ParameterError(
+                f"clique id {rid} out of range [0, {self.n_leaves})")
+        return tuple(int(v) for v in self.cliques[rid])
+
+    def vertices_of(self, node: int) -> np.ndarray:
+        """Sorted vertex ids of ``node``'s nucleus (mapped view)."""
+        return self._node_vertices[
+            self._node_indptr[node]:self._node_indptr[node + 1]]
+
+    def n_vertices_of(self, node: int) -> int:
+        return int(self._node_indptr[node + 1] - self._node_indptr[node])
+
+    def leaves_of_vertex(self, vertex: int) -> np.ndarray:
+        if not 0 <= vertex < self.graph_n:
+            return np.empty(0, dtype=np.int64)
+        return self._vertex_leaves[
+            self._vertex_indptr[vertex]:self._vertex_indptr[vertex + 1]]
+
+    def stats(self) -> Dict[str, float]:
+        """The same summary shape as ``HierarchyQueryIndex.stats()``."""
+        internal_levels = self.level[self.n_leaves:]
+        positive = np.unique(self.level[self.level > 0]) \
+            if self.n_nodes else np.empty(0)
+        return {
+            "n_leaves": self.n_leaves,
+            "n_nuclei": len(self),
+            "n_nodes": self.n_nodes,
+            "n_roots": int((self.parent == NO_PARENT).sum()),
+            "max_level": float(positive.max()) if positive.size else 0.0,
+            "n_vertices": int((self._vertex_indptr[1:]
+                               > self._vertex_indptr[:-1]).sum()),
+            "n_vertex_entries": int(self._node_indptr[-1]),
+            "index_bytes": self.nbytes,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable description (``repro store info``)."""
+        meta = self.meta
+        graph = meta.get("graph", {})
+        return (f"({self.r},{self.s}) artifact of "
+                f"{graph.get('name') or 'graph'} "
+                f"(n={graph.get('n')}, m={graph.get('m')}): "
+                f"{self.n_leaves} {self.r}-cliques, "
+                f"{len(self)} nuclei, max core {meta.get('max_core'):g}, "
+                f"{self.nbytes} bytes")
+
+    # -- coreness lookups --------------------------------------------------
+
+    def _encoding(self) -> Tuple[Optional[np.ndarray], int]:
+        """Sorted int64 keys over the clique rows (see CliqueIndex)."""
+        if self._encoded is None:
+            if self.n_leaves == 0:
+                self._encoded = (None, 0)
+            else:
+                stride = int(self.cliques.max()) + 1
+                if self.r * max(stride - 1, 1).bit_length() >= 63:
+                    self._encoded = (None, 0)
+                else:
+                    keys = self.cliques[:, 0].astype(np.int64)
+                    for col in range(1, self.r):
+                        keys = keys * stride + self.cliques[:, col]
+                    self._encoded = (keys, stride)
+        return self._encoded
+
+    def id_of(self, clique: Sequence[int]) -> int:
+        """Id of the r-clique with the given vertices (any order)."""
+        key = sorted(int(v) for v in clique)
+        if len(key) != self.r:
+            raise ParameterError(
+                f"expected an r-clique of {self.r} vertices, got {len(key)}")
+        keys, stride = self._encoding()
+        if keys is not None and all(0 <= v < stride for v in key):
+            query = 0
+            for v in key:
+                query = query * stride + v
+            pos = int(np.searchsorted(keys, query))
+            if pos < len(keys) and keys[pos] == query:
+                return pos
+        elif keys is None and self.n_leaves:
+            # Overflow fallback: lexicographic binary search on the rows.
+            row = np.asarray(key, dtype=np.int64)
+            lo, hi = 0, self.n_leaves
+            while lo < hi:
+                mid = (lo + hi) // 2
+                cmp = self.cliques[mid]
+                if tuple(cmp) < tuple(row):
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < self.n_leaves and tuple(self.cliques[lo]) == tuple(row):
+                return lo
+        raise ParameterError(f"clique {tuple(key)} is not in the artifact")
+
+    def core_of(self, clique: Sequence[int]) -> float:
+        """Core number of the r-clique with the given vertices."""
+        return float(self.core[self.id_of(clique)])
+
+    # -- queries (mirroring HierarchyQueryIndex exactly) -------------------
+
+    def _community_at(self, node: int) -> Community:
+        return Community(
+            node=node,
+            level=float(self.level[node]),
+            vertices=tuple(int(v) for v in self.vertices_of(node)),
+            n_r_cliques=int(self._n_leaves_under[node]),
+            density=float(self.density[node]),
+        )
+
+    def _ancestors(self, node: int) -> List[int]:
+        out = [node]
+        parent = self.parent
+        while parent[out[-1]] != NO_PARENT:
+            out.append(int(parent[out[-1]]))
+        return out
+
+    def _nodes_containing(self, vertex: int) -> List[int]:
+        seen: Set[int] = set()
+        for leaf in self.leaves_of_vertex(vertex):
+            for node in self._ancestors(int(leaf)):
+                if node in seen:
+                    break
+                seen.add(node)
+        return sorted(seen,
+                      key=lambda n: (self.level[n], -self.n_vertices_of(n)),
+                      reverse=True)
+
+    def _contains_all(self, node: int, vertices: Sequence[int]) -> bool:
+        mine = self.vertices_of(node)
+        pos = np.searchsorted(mine, list(vertices))
+        return bool(np.all(pos < len(mine))
+                    and np.all(mine[np.minimum(pos, len(mine) - 1)]
+                               == list(vertices)))
+
+    def community(self, vertices: Sequence[int],
+                  min_level: float = 1.0) -> Optional[Community]:
+        """Smallest (deepest, then smallest) nucleus containing the query."""
+        query = set(int(v) for v in vertices)
+        if not query:
+            raise ParameterError("community() needs at least one vertex")
+        for v in query:
+            if not 0 <= v < self.graph_n:
+                raise ParameterError(f"vertex {v} out of range")
+        sorted_query = sorted(query)
+        anchor = next(iter(query))
+        best: Optional[int] = None
+        for node in self._nodes_containing(anchor):
+            if self.is_leaf(node):
+                continue
+            if self.level[node] < min_level:
+                continue
+            if not self._contains_all(node, sorted_query):
+                continue
+            if best is None or self._better_community(node, best):
+                best = node
+        return self._community_at(best) if best is not None else None
+
+    def _better_community(self, a: int, b: int) -> bool:
+        la, lb = self.level[a], self.level[b]
+        if la != lb:
+            return bool(la > lb)
+        return self.n_vertices_of(a) < self.n_vertices_of(b)
+
+    def strongest_community(self, vertex: int,
+                            min_vertices: int = 2) -> Optional[Community]:
+        """The deepest nucleus of size >= ``min_vertices`` with ``vertex``."""
+        for node in self._nodes_containing(int(vertex)):
+            if (self.level[node] >= 1
+                    and self.n_vertices_of(node) >= min_vertices
+                    and not self.is_leaf(node)):
+                return self._community_at(node)
+        return None
+
+    def membership(self, vertex: int) -> List[Community]:
+        """All nuclei containing ``vertex``, deepest first."""
+        return [self._community_at(node)
+                for node in self._nodes_containing(int(vertex))
+                if self.level[node] >= 1 and not self.is_leaf(node)]
+
+    def top_k_densest(self, k: int, min_vertices: int = 3) -> List[Community]:
+        """The k densest nuclei with at least ``min_vertices`` vertices."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        candidates = [
+            self._community_at(node)
+            for node in range(self.n_leaves, self.n_nodes)
+            if self.n_vertices_of(node) >= min_vertices
+        ]
+        candidates.sort(key=lambda c: (c.density, c.level, -len(c)),
+                        reverse=True)
+        return candidates[:k]
+
+    def top_k_deepest(self, k: int, min_vertices: int = 2) -> List[Community]:
+        """The k deepest (highest-level) nuclei with >= ``min_vertices``."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        candidates = [
+            self._community_at(node)
+            for node in range(self.n_leaves, self.n_nodes)
+            if self.n_vertices_of(node) >= min_vertices
+        ]
+        candidates.sort(key=lambda c: (c.level, c.density), reverse=True)
+        return candidates[:k]
+
+    def __repr__(self) -> str:
+        return (f"DecompositionArtifact(path={self.path!r}, r={self.r}, "
+                f"s={self.s}, n_r={self.n_leaves}, nuclei={len(self)})")
+
+
+def load_artifact(path: str) -> DecompositionArtifact:
+    """Open a ``.nda`` artifact read-only via ``numpy.memmap``.
+
+    Validates the header and column table (magic, version, metadata
+    checksum, truncation) but does not touch the payload pages -- a
+    multi-GB artifact opens in milliseconds. Use
+    :meth:`DecompositionArtifact.verify` for a full integrity pass.
+    """
+    return DecompositionArtifact(path)

@@ -1,0 +1,251 @@
+"""The ``.nda`` (nucleus decomposition artifact) binary format.
+
+The paper's hierarchy is motivated as a *reusable* structure -- compute
+the decomposition once, then explore it many times (Section 1, Figure
+10). The JSON export (:mod:`repro.export`) is durable but row-per-clique:
+loading it re-parses every clique tuple, and nothing is random-access.
+This module defines a versioned, checksummed, mmap-friendly binary layout
+so a decomposition of any size opens in milliseconds and is shared
+read-only between processes through the page cache:
+
+``[fixed header | JSON metadata | 64-byte-aligned numpy columns]``
+
+* the fixed header carries magic bytes, the format version, the metadata
+  length, the expected file size (truncation detection), and a CRC-32 of
+  the metadata block;
+* the metadata JSON records the decomposition parameters, the run stats,
+  a column table (name, dtype, shape, offset relative to the payload
+  start), and a CRC-32 over the concatenated column bytes (verified on
+  demand via :meth:`~repro.store.artifact.DecompositionArtifact.verify`,
+  not on open -- hashing gigabytes would defeat the millisecond open);
+* each column is a flat, C-contiguous numpy array: coreness, clique
+  tuples, tree parents/levels/representatives, and the two CSR pairs
+  (per-node vertex sets, per-vertex leaf lists) memoized by
+  :class:`~repro.core.queries.HierarchyQueryIndex` -- the on-disk layout
+  *is* the in-memory query layout, so queries run directly over the
+  mapped columns with no translation step.
+
+Writes are atomic: the file is assembled in a temporary sibling and
+``os.replace``-d into place, so readers never observe a half-written
+artifact and a crashed build leaves the previous version intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.decomposition import NucleusDecomposition
+from ..core.queries import HierarchyQueryIndex
+from ..errors import ArtifactError, ParameterError
+
+#: File extension by convention (not enforced).
+EXTENSION = ".nda"
+
+#: Magic bytes opening every artifact.
+MAGIC = b"NDA\xf1"
+
+#: Current format version; bump on any layout change.
+FORMAT_VERSION = 1
+
+#: Versions this reader can negotiate. A version-2 writer that only adds
+#: columns should keep 1-readers working by listing both here.
+SUPPORTED_VERSIONS = (1,)
+
+#: Fixed header: magic, version, flags, metadata length, total file size,
+#: metadata CRC-32, padded to 32 bytes.
+_HEADER_STRUCT = struct.Struct("<4sHHQQI4x")
+HEADER_SIZE = _HEADER_STRUCT.size
+
+#: Column alignment: every column starts on a 64-byte boundary so mapped
+#: arrays are cache-line- (and SIMD-) aligned.
+ALIGN = 64
+
+#: The column names of format version 1, in file order.
+COLUMN_ORDER = (
+    "core",             # float64[n_r]       core number per r-clique id
+    "cliques",          # int64[n_r, r]      canonical vertex tuples
+    "parent",           # int64[n_nodes]     hierarchy parents (NO_PARENT=-1)
+    "level",            # float64[n_nodes]   node levels (leaf = coreness)
+    "rep",              # int64[n_nodes]     representative leaf per node
+    "n_leaves_under",   # int64[n_nodes]     leaf count per node
+    "node_indptr",      # int64[n_nodes+1]   CSR: per-node vertex sets
+    "node_vertices",    # int64[nnz]         ... sorted vertex ids
+    "vertex_indptr",    # int64[graph_n+1]   CSR: per-vertex leaf lists
+    "vertex_leaves",    # int64[nnz]         ... leaf (r-clique) ids
+    "density",          # float64[n_nodes]   edge density (0.0 for leaves)
+)
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+def _column_arrays(result: NucleusDecomposition,
+                   query_index: Optional[HierarchyQueryIndex] = None,
+                   ) -> Tuple[Dict[str, np.ndarray], HierarchyQueryIndex]:
+    """Assemble the version-1 columns from a decomposition."""
+    if result.tree is None:
+        raise ParameterError(
+            "artifacts store the full hierarchy; run with hierarchy=True")
+    qi = query_index if query_index is not None \
+        else HierarchyQueryIndex(result)
+    tree = result.tree
+    node_indptr, node_vertices = qi.node_vertex_csr()
+    vertex_indptr, vertex_leaves = qi.vertex_leaf_csr()
+    density = np.zeros(tree.n_nodes, dtype=np.float64)
+    for node in range(tree.n_leaves, tree.n_nodes):
+        density[node] = qi.node_density(node)
+    cliques = np.asarray(
+        [result.index.clique_of(rid) for rid in range(result.n_r)],
+        dtype=np.int64).reshape(result.n_r, result.r)
+    columns = {
+        "core": np.asarray(result.core, dtype=np.float64),
+        "cliques": cliques,
+        "parent": np.asarray(tree.parent, dtype=np.int64),
+        "level": np.asarray(tree.level, dtype=np.float64),
+        "rep": np.asarray(tree.rep, dtype=np.int64),
+        "n_leaves_under": np.asarray(qi.n_leaves_under(), dtype=np.int64),
+        "node_indptr": np.asarray(node_indptr, dtype=np.int64),
+        "node_vertices": np.asarray(node_vertices, dtype=np.int64),
+        "vertex_indptr": np.asarray(vertex_indptr, dtype=np.int64),
+        "vertex_leaves": np.asarray(vertex_leaves, dtype=np.int64),
+        "density": density,
+    }
+    return columns, qi
+
+
+def build_metadata(result: NucleusDecomposition) -> Dict:
+    """The non-column metadata recorded in an artifact."""
+    from .. import __version__  # deferred: repro/__init__ imports this pkg
+    return {
+        "format_version": FORMAT_VERSION,
+        "created_by": f"repro {__version__}",
+        "graph": {"name": result.graph.name, "n": result.graph.n,
+                  "m": result.graph.m},
+        "r": result.r,
+        "s": result.s,
+        "method": result.method,
+        "approx_delta": result.approx_delta,
+        "n_r_cliques": result.n_r,
+        "n_s_cliques": result.n_s,
+        "max_core": float(result.max_core),
+        "peeling_rounds": result.rho,
+        "stats": {k: float(v) for k, v in result.stats.items()},
+        "seconds_total": result.seconds_total,
+    }
+
+
+def write_artifact(result: NucleusDecomposition, path: str,
+                   query_index: Optional[HierarchyQueryIndex] = None) -> str:
+    """Serialize a decomposition to ``path`` atomically; returns ``path``.
+
+    ``query_index`` may pass an already-built
+    :class:`~repro.core.queries.HierarchyQueryIndex` over ``result`` so
+    its CSR arrays are reused instead of recomputed.
+    """
+    columns, _ = _column_arrays(result, query_index)
+    meta = build_metadata(result)
+    # Column table with offsets relative to the payload start (the
+    # payload start itself depends on the metadata length, so absolute
+    # offsets would be self-referential).
+    table: List[Dict] = []
+    rel = 0
+    payload_crc = 0
+    ordered = []
+    for name in COLUMN_ORDER:
+        array = np.ascontiguousarray(columns[name])
+        rel = _align(rel)
+        table.append({"name": name, "dtype": array.dtype.str,
+                      "shape": list(array.shape), "offset": rel,
+                      "nbytes": array.nbytes})
+        payload_crc = zlib.crc32(array.tobytes(), payload_crc)
+        ordered.append(array)
+        rel += array.nbytes
+    meta["columns"] = table
+    meta["payload_crc32"] = payload_crc
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    payload_start = _align(HEADER_SIZE + len(meta_bytes))
+    file_size = payload_start + rel
+    header = _HEADER_STRUCT.pack(MAGIC, FORMAT_VERSION, 0, len(meta_bytes),
+                                 file_size, zlib.crc32(meta_bytes))
+
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=".nda-tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(meta_bytes)
+            handle.write(b"\x00" * (payload_start - HEADER_SIZE
+                                    - len(meta_bytes)))
+            written = payload_start
+            for entry, array in zip(table, ordered):
+                handle.write(b"\x00" * (payload_start + entry["offset"]
+                                        - written))
+                handle.write(array.tobytes())
+                written = payload_start + entry["offset"] + entry["nbytes"]
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_header(path: str) -> Tuple[int, Dict]:
+    """Validate the fixed header + metadata; returns (payload_start, meta).
+
+    Raises :class:`ArtifactError` on bad magic, an unsupported version,
+    metadata corruption, or a truncated file. Does *not* hash the
+    payload -- see ``DecompositionArtifact.verify``.
+    """
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            raw = handle.read(HEADER_SIZE)
+            if len(raw) < HEADER_SIZE:
+                raise ArtifactError(
+                    f"{path}: too short to be an artifact "
+                    f"({len(raw)} bytes)")
+            magic, version, _flags, meta_len, file_size, meta_crc = \
+                _HEADER_STRUCT.unpack(raw)
+            if magic != MAGIC:
+                raise ArtifactError(
+                    f"{path}: bad magic {magic!r} (not a .nda artifact)")
+            if version not in SUPPORTED_VERSIONS:
+                raise ArtifactError(
+                    f"{path}: format version {version} not supported "
+                    f"(reader handles {SUPPORTED_VERSIONS})")
+            if size != file_size:
+                raise ArtifactError(
+                    f"{path}: truncated or padded (header records "
+                    f"{file_size} bytes, file has {size})")
+            meta_bytes = handle.read(meta_len)
+        if len(meta_bytes) < meta_len:
+            raise ArtifactError(f"{path}: metadata block truncated")
+        if zlib.crc32(meta_bytes) != meta_crc:
+            raise ArtifactError(f"{path}: metadata checksum mismatch")
+        try:
+            meta = json.loads(meta_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ArtifactError(f"{path}: metadata is not valid JSON: {exc}")
+    except OSError as exc:
+        raise ArtifactError(f"{path}: cannot read artifact: {exc}")
+    payload_start = _align(HEADER_SIZE + meta_len)
+    for entry in meta.get("columns", []):
+        end = payload_start + entry["offset"] + entry["nbytes"]
+        if end > size:
+            raise ArtifactError(
+                f"{path}: column {entry['name']!r} extends past the end "
+                f"of the file")
+    return payload_start, meta

@@ -109,6 +109,170 @@ class TestDatasets:
             assert name in text
 
 
+@pytest.fixture(scope="module")
+def artifact_file(tmp_path_factory):
+    """A (2,3) artifact of the planted graph, built through the CLI."""
+    directory = tmp_path_factory.mktemp("cli-store")
+    graph_path = directory / "graph.txt"
+    write_edge_list(planted_nuclei([6, 5, 4], bridge=True), str(graph_path))
+    artifact_path = directory / "planted.nda"
+    code, text = run(["store", "build", str(graph_path),
+                      "--r", "2", "--s", "3", "-o", str(artifact_path)])
+    assert code == 0 and "wrote" in text
+    return str(artifact_path)
+
+
+class TestStore:
+    def test_build_reports_summary(self, artifact_file):
+        # the fixture already asserts the build; check the file exists
+        import os
+        assert os.path.getsize(artifact_file) > 0
+
+    def test_info_text(self, artifact_file):
+        code, text = run(["store", "info", artifact_file])
+        assert code == 0
+        assert "(2,3) artifact" in text
+        assert "n_nuclei" in text
+
+    def test_info_json(self, artifact_file):
+        code, text = run(["store", "info", artifact_file,
+                          "--format", "json", "--verify"])
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["meta"]["r"] == 2 and doc["meta"]["s"] == 3
+        assert doc["verified"] is True
+        assert doc["stats"]["n_nuclei"] == 3
+        assert [c["name"] for c in doc["columns"]]
+
+    def test_info_verify_text(self, artifact_file):
+        code, text = run(["store", "info", artifact_file, "--verify"])
+        assert code == 0
+        assert "payload checksum: OK" in text
+
+    def test_info_rejects_non_artifact(self, graph_file, capsys):
+        code, _ = run(["store", "info", graph_file])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQueryLocal:
+    def test_community_text(self, artifact_file):
+        code, text = run(["query", "--artifact", artifact_file,
+                          "--op", "community", "--vertices", "0,5"])
+        assert code == 0
+        assert "level" in text and "density" in text
+
+    def test_community_json(self, artifact_file):
+        code, text = run(["query", "--artifact", artifact_file,
+                          "--op", "community", "--vertices", "0,5",
+                          "--format", "json"])
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["found"] is True
+        assert doc["community"]["vertices"] == [0, 1, 2, 3, 4, 5]
+
+    def test_not_found_exits_one(self, artifact_file):
+        # K6 and K5 share no nucleus at level >= 1 (bridge edges only)
+        code, text = run(["query", "--artifact", artifact_file,
+                          "--op", "community", "--vertices", "0,6"])
+        assert code == 1
+        assert "no matching community" in text
+
+    def test_membership_and_coreness(self, artifact_file):
+        code, text = run(["query", "--artifact", artifact_file,
+                          "--op", "membership", "--vertex", "0"])
+        assert code == 0
+        code, text = run(["query", "--artifact", artifact_file,
+                          "--op", "coreness", "--clique", "0,1"])
+        assert code == 0
+        assert "core 4" in text
+
+    def test_top_k_densest(self, artifact_file):
+        code, text = run(["query", "--artifact", artifact_file,
+                          "--op", "top_k_densest", "--k", "2",
+                          "--min-vertices", "4"])
+        assert code == 0
+        assert "1.000" in text  # planted cliques have density 1
+
+    def test_url_xor_artifact_enforced(self, artifact_file, capsys):
+        code, _ = run(["query", "--op", "membership", "--vertex", "0"])
+        assert code == 2
+        code, _ = run(["query", "--artifact", artifact_file,
+                       "--url", "http://127.0.0.1:1", "--op", "membership",
+                       "--vertex", "0"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_stats_requires_url(self, artifact_file, capsys):
+        code, _ = run(["query", "--artifact", artifact_file, "--op", "stats"])
+        assert code == 2
+        assert "requires --url" in capsys.readouterr().err
+
+    def test_bad_vertex_list_exits_two(self, artifact_file, capsys):
+        code, _ = run(["query", "--artifact", artifact_file,
+                       "--op", "community", "--vertices", "a,b"])
+        assert code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_missing_artifact_exits_two(self, tmp_path, capsys):
+        code, _ = run(["query", "--artifact", str(tmp_path / "nope.nda"),
+                       "--op", "membership", "--vertex", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_two(self, capsys):
+        code, _ = run(["query", "--url", "http://127.0.0.1:1",
+                       "--op", "health"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_malformed_url_exits_two(self, capsys):
+        code, _ = run(["query", "--url", "", "--op", "health"])
+        assert code == 2
+        assert "invalid --url" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture(scope="class")
+    def served_url(self, artifact_file):
+        import re
+        import subprocess
+        import sys
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--artifact", artifact_file, "--port", "0"],
+            stdout=subprocess.PIPE, text=True)
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"http://[\d.]+:\d+", line)
+            assert match, f"no URL in serve banner: {line!r}"
+            yield match.group(0)
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_health_over_http(self, served_url):
+        code, text = run(["query", "--url", served_url, "--op", "health"])
+        assert code == 0
+        assert json.loads(text)["ok"] is True
+
+    def test_query_over_http_matches_local(self, served_url, artifact_file):
+        code_http, text_http = run(
+            ["query", "--url", served_url, "--op", "community",
+             "--vertices", "0,5", "--format", "json"])
+        code_local, text_local = run(
+            ["query", "--artifact", artifact_file, "--op", "community",
+             "--vertices", "0,5", "--format", "json"])
+        assert code_http == code_local == 0
+        assert json.loads(text_http) == json.loads(text_local)
+
+    def test_stats_over_http(self, served_url):
+        code, text = run(["query", "--url", served_url, "--op", "stats"])
+        assert code == 0
+        doc = json.loads(text)
+        assert "endpoints" in doc and "cache" in doc
+
+
 class TestParser:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

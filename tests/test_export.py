@@ -7,7 +7,8 @@ import pytest
 
 from repro import nucleus_decomposition
 from repro.errors import ParameterError
-from repro.export import (SCHEMA_VERSION, decomposition_to_dict,
+from repro.export import (SCHEMA_VERSION, decomposition_from_dict,
+                          decomposition_from_json, decomposition_to_dict,
                           decomposition_to_json, load_coreness,
                           nuclei_to_rows, tree_to_dot)
 from repro.graphs.generators import planted_nuclei
@@ -60,6 +61,54 @@ class TestJson:
         assert len(doc["coreness"]) == 6
 
 
+class TestFromDict:
+    def test_full_round_trip(self, result):
+        doc = decomposition_to_dict(result)
+        rebuilt = decomposition_from_dict(doc, result.graph)
+        assert rebuilt.r == result.r and rebuilt.s == result.s
+        assert rebuilt.method == result.method
+        assert rebuilt.max_core == result.max_core
+        assert rebuilt.coreness_by_clique() == result.coreness_by_clique()
+        assert list(rebuilt.tree.parent) == list(result.tree.parent)
+        assert list(rebuilt.tree.level) == list(result.tree.level)
+        assert rebuilt.tree.n_leaves == result.tree.n_leaves
+
+    def test_rebuilt_tree_answers_queries(self, result):
+        from repro.core.queries import HierarchyQueryIndex
+        doc = decomposition_to_dict(result)
+        rebuilt = decomposition_from_dict(doc, result.graph)
+        original = HierarchyQueryIndex(result)
+        restored = HierarchyQueryIndex(rebuilt)
+        assert original.top_k_densest(3) == restored.top_k_densest(3)
+        for v in range(result.graph.n):
+            assert original.membership(v) == restored.membership(v)
+
+    def test_json_round_trip_via_file(self, result, tmp_path):
+        path = tmp_path / "decomp.json"
+        decomposition_to_json(result, target=str(path))
+        rebuilt = decomposition_from_json(str(path), result.graph)
+        assert rebuilt.coreness_by_clique() == result.coreness_by_clique()
+
+    def test_schema_version_checked(self, result):
+        doc = decomposition_to_dict(result)
+        doc["schema_version"] = 99
+        with pytest.raises(ParameterError):
+            decomposition_from_dict(doc, result.graph)
+
+    def test_graph_mismatch_rejected(self, result):
+        doc = decomposition_to_dict(result)
+        wrong = Graph.complete(4)
+        with pytest.raises(ParameterError, match="graph mismatch"):
+            decomposition_from_dict(doc, wrong)
+
+    def test_coreness_only_document(self):
+        r = nucleus_decomposition(Graph.complete(4), 2, 3, hierarchy=False)
+        doc = decomposition_to_dict(r)
+        rebuilt = decomposition_from_dict(doc, r.graph)
+        assert rebuilt.tree is None
+        assert rebuilt.coreness_by_clique() == r.coreness_by_clique()
+
+
 class TestDot:
     def test_valid_dot_structure(self, result):
         dot = tree_to_dot(result)
@@ -80,6 +129,16 @@ class TestDot:
         r = nucleus_decomposition(Graph.complete(4), 2, 3, hierarchy=False)
         with pytest.raises(ParameterError):
             tree_to_dot(r)
+
+    def test_quotes_in_leaf_labels_escaped(self, result):
+        labels = {0: 'say "hello"', 1: "back\\slash"}
+        dot = tree_to_dot(result, leaf_labels=labels)
+        assert '\\"hello\\"' in dot
+        assert "back\\\\slash" in dot
+        # Balanced quoting: every label is a closed quoted string, so the
+        # total count of unescaped quotes is even.
+        unescaped = dot.replace('\\"', "")
+        assert unescaped.count('"') % 2 == 0
 
 
 class TestRows:

@@ -1,5 +1,6 @@
 """Unit tests for the hierarchy query layer (repro.core.queries)."""
 
+import numpy as np
 import pytest
 
 from repro import nucleus_decomposition
@@ -128,6 +129,64 @@ class TestRankings:
     def test_min_vertices_filter(self, planted_index):
         top = planted_index.top_k_densest(10, min_vertices=6)
         assert all(len(c) >= 6 for c in top)
+
+
+class TestArraySurface:
+    """The CSR/array surface shared with the on-disk store layout."""
+
+    def test_len_counts_nuclei(self, planted_index):
+        assert len(planted_index) == planted_index.tree.n_internal
+
+    def test_node_vertex_csr_is_sorted_and_consistent(self, planted_index):
+        indptr, data = planted_index.node_vertex_csr()
+        tree = planted_index.tree
+        assert indptr.dtype == data.dtype == np.int64
+        assert len(indptr) == tree.n_nodes + 1
+        assert indptr[-1] == len(data)
+        for node in range(tree.n_nodes):
+            mine = data[indptr[node]:indptr[node + 1]]
+            assert list(mine) == sorted(set(mine))
+            assert planted_index.n_vertices_of(node) == len(mine)
+            assert np.array_equal(planted_index.vertices_of(node), mine)
+
+    def test_vertex_leaf_csr_covers_every_clique(self, planted_index):
+        indptr, data = planted_index.vertex_leaf_csr()
+        graph = planted_index.graph
+        assert len(indptr) == graph.n + 1
+        index = planted_index.decomposition.index
+        for v in range(graph.n):
+            leaves = planted_index.leaves_of_vertex(v)
+            assert np.array_equal(
+                leaves, data[indptr[v]:indptr[v + 1]])
+            for leaf in leaves:
+                assert v in index.clique_of(int(leaf))
+
+    def test_out_of_range_vertex_has_no_leaves(self, planted_index):
+        assert planted_index.leaves_of_vertex(-1).size == 0
+        assert planted_index.leaves_of_vertex(10_000).size == 0
+
+    def test_n_leaves_under_roots_cover_forest(self, planted_index):
+        under = planted_index.n_leaves_under()
+        tree = planted_index.tree
+        assert under[list(tree.roots())].sum() == tree.n_leaves
+        for leaf in range(tree.n_leaves):
+            assert under[leaf] == 1
+
+    def test_node_density_matches_community(self, planted_index):
+        tree = planted_index.tree
+        for node in range(tree.n_leaves, tree.n_nodes):
+            assert planted_index.node_density(node) == pytest.approx(
+                planted_index._community_at(node).density)
+
+    def test_stats_shape(self, planted_index):
+        stats = planted_index.stats()
+        assert stats["n_leaves"] == planted_index.tree.n_leaves
+        assert stats["n_nuclei"] == len(planted_index)
+        assert stats["n_nodes"] \
+            == stats["n_leaves"] + stats["n_nuclei"]
+        assert stats["max_level"] == 4.0
+        assert stats["n_vertices"] == planted_index.graph.n
+        assert stats["index_bytes"] > 0
 
 
 class TestStatistics:

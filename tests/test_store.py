@@ -1,0 +1,285 @@
+"""Tests for the persistent artifact store (repro.store).
+
+The load-bearing property: a mmap-loaded artifact answers every query
+*identically* to a fresh in-memory :class:`HierarchyQueryIndex` over the
+same decomposition (differential round-trip over the corpus graphs and
+(r, s) pairs). Plus format hardening: corrupted/truncated/foreign files
+are rejected with :class:`ArtifactError`, writes are atomic, and the
+mapped object is shareable across threads and processes.
+"""
+
+import os
+import pickle
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from conftest import RS_PAIRS
+from repro import nucleus_decomposition
+from repro.core.queries import HierarchyQueryIndex
+from repro.errors import ArtifactError, ParameterError
+from repro.store import (EXTENSION, FORMAT_VERSION, load_artifact,
+                         read_header, write_artifact)
+from repro.store.format import COLUMN_ORDER, HEADER_SIZE
+
+
+def build_artifact(graph, r, s, directory):
+    """(decomposition, query index, artifact path) for one corpus point."""
+    result = nucleus_decomposition(graph, r, s)
+    index = HierarchyQueryIndex(result)
+    path = os.path.join(str(directory),
+                        f"{graph.name or 'g'}-{r}-{s}{EXTENSION}")
+    write_artifact(result, path, query_index=index)
+    return result, index, path
+
+
+def assert_same_answers(index, artifact, graph):
+    """Every query endpoint must agree between memory and mmap."""
+    # Coreness: byte-identical column.
+    expected = np.asarray(index.decomposition.core, dtype=np.float64)
+    assert artifact.core.dtype == np.float64
+    assert np.array_equal(expected, np.asarray(artifact.core))
+    for rid in range(min(index.decomposition.n_r, 25)):
+        clique = index.decomposition.index.clique_of(rid)
+        assert artifact.clique_of(rid) == tuple(clique)
+        assert artifact.id_of(clique) == rid
+        assert artifact.core_of(clique) == expected[rid]
+    # Per-vertex queries.
+    for v in range(graph.n):
+        assert index.membership(v) == artifact.membership(v)
+        assert index.strongest_community(v) == artifact.strongest_community(v)
+    # Multi-vertex community search over a deterministic pair sample.
+    for a in range(0, graph.n, 3):
+        b = (a * 7 + 1) % graph.n
+        got = artifact.community([a, b]) if a != b \
+            else artifact.community([a])
+        want = index.community([a, b]) if a != b else index.community([a])
+        assert got == want
+    # Rankings.
+    for k in (1, 3, 10):
+        assert index.top_k_densest(k) == artifact.top_k_densest(k)
+        assert index.top_k_deepest(k) == artifact.top_k_deepest(k)
+
+
+@pytest.fixture(scope="module")
+def planted_point(planted, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("store")
+    return build_artifact(planted, 2, 3, directory)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("r,s", RS_PAIRS)
+    def test_small_corpus_all_pairs(self, two_triangles_bridge,
+                                    paper_like_graph, r, s, tmp_path):
+        for graph in (two_triangles_bridge, paper_like_graph):
+            _, index, path = build_artifact(graph, r, s, tmp_path)
+            with load_artifact(path) as artifact:
+                assert_same_answers(index, artifact, graph)
+
+    @pytest.mark.parametrize("r,s", [(1, 2), (2, 3), (3, 4)])
+    def test_planted_and_social(self, planted, social_graph, r, s, tmp_path):
+        for graph in (planted, social_graph):
+            _, index, path = build_artifact(graph, r, s, tmp_path)
+            with load_artifact(path) as artifact:
+                assert_same_answers(index, artifact, graph)
+
+    def test_metadata_and_stats(self, planted_point, planted):
+        result, index, path = planted_point
+        artifact = load_artifact(path)
+        assert artifact.r == 2 and artifact.s == 3
+        assert artifact.meta["graph"]["n"] == planted.n
+        assert artifact.meta["graph"]["m"] == planted.m
+        assert artifact.meta["format_version"] == FORMAT_VERSION
+        assert [c["name"] for c in artifact.meta["columns"]] \
+            == list(COLUMN_ORDER)
+        memory, mapped = index.stats(), artifact.stats()
+        for key in ("n_leaves", "n_nuclei", "n_nodes", "n_roots",
+                    "max_level", "n_vertices", "n_vertex_entries"):
+            assert memory[key] == mapped[key], key
+        assert len(artifact) == len(index)
+        assert "nuclei" in artifact.summary()
+
+    def test_verify_passes_on_clean_file(self, planted_point):
+        _, _, path = planted_point
+        assert load_artifact(path).verify() is True
+
+    def test_columns_are_readonly_views(self, planted_point):
+        _, _, path = planted_point
+        artifact = load_artifact(path)
+        with pytest.raises((ValueError, RuntimeError)):
+            artifact.core[0] = 99.0
+
+    def test_coreness_only_result_rejected(self, planted, tmp_path):
+        flat = nucleus_decomposition(planted, 2, 3, hierarchy=False)
+        with pytest.raises(ParameterError):
+            write_artifact(flat, str(tmp_path / "flat.nda"))
+
+
+class TestRejection:
+    def _copy(self, path, tmp_path, mutate):
+        data = bytearray(open(path, "rb").read())
+        mutate(data)
+        out = tmp_path / "mutated.nda"
+        out.write_bytes(bytes(data))
+        return str(out)
+
+    def test_bad_magic(self, planted_point, tmp_path):
+        _, _, path = planted_point
+        bad = self._copy(path, tmp_path, lambda d: d.__setitem__(0, 0x00))
+        with pytest.raises(ArtifactError, match="magic"):
+            load_artifact(bad)
+
+    def test_unsupported_version(self, planted_point, tmp_path):
+        _, _, path = planted_point
+
+        def bump(data):
+            data[4:6] = struct.pack("<H", FORMAT_VERSION + 7)
+
+        bad = self._copy(path, tmp_path, bump)
+        with pytest.raises(ArtifactError, match="version"):
+            load_artifact(bad)
+
+    def test_truncated_file(self, planted_point, tmp_path):
+        _, _, path = planted_point
+        bad = self._copy(path, tmp_path, lambda d: d.__delitem__(
+            slice(len(d) - 16, len(d))))
+        with pytest.raises(ArtifactError, match="truncated|padded"):
+            load_artifact(bad)
+
+    def test_corrupted_metadata(self, planted_point, tmp_path):
+        _, _, path = planted_point
+        bad = self._copy(path, tmp_path, lambda d: d.__setitem__(
+            HEADER_SIZE + 4, d[HEADER_SIZE + 4] ^ 0xFF))
+        with pytest.raises(ArtifactError, match="checksum|JSON"):
+            load_artifact(bad)
+
+    def test_corrupted_payload_caught_by_verify(self, planted_point,
+                                                tmp_path):
+        _, _, path = planted_point
+        payload_start, _ = read_header(path)
+        bad = self._copy(path, tmp_path, lambda d: d.__setitem__(
+            payload_start + 3, d[payload_start + 3] ^ 0xFF))
+        artifact = load_artifact(bad)  # open stays cheap: no payload hash
+        with pytest.raises(ArtifactError, match="payload checksum"):
+            artifact.verify()
+
+    def test_not_an_artifact(self, tmp_path):
+        junk = tmp_path / "junk.nda"
+        junk.write_bytes(b"definitely not a decomposition artifact")
+        with pytest.raises(ArtifactError):
+            load_artifact(str(junk))
+        empty = tmp_path / "empty.nda"
+        empty.write_bytes(b"")
+        with pytest.raises(ArtifactError, match="too short"):
+            load_artifact(str(empty))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_artifact(str(tmp_path / "nope.nda"))
+
+
+class TestAtomicity:
+    def test_failed_write_leaves_previous_version(self, planted, tmp_path):
+        result, index, path = build_artifact(planted, 2, 3, tmp_path)
+        before = open(path, "rb").read()
+        flat = nucleus_decomposition(planted, 2, 3, hierarchy=False)
+        with pytest.raises(ParameterError):
+            write_artifact(flat, path)
+        assert open(path, "rb").read() == before
+        assert not [f for f in os.listdir(tmp_path)
+                    if f.startswith(".nda-tmp-")]
+
+    def test_interrupted_replace_leaves_no_temp(self, planted_point,
+                                                planted, tmp_path,
+                                                monkeypatch):
+        result = nucleus_decomposition(planted, 2, 3)
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.store.format.os.replace", boom)
+        with pytest.raises(OSError):
+            write_artifact(result, str(tmp_path / "x.nda"))
+        assert os.listdir(tmp_path) == []
+
+    def test_rewrite_is_deterministic_modulo_timing(self, planted, tmp_path):
+        result = nucleus_decomposition(planted, 2, 3)
+        a = str(tmp_path / "a.nda")
+        b = str(tmp_path / "b.nda")
+        write_artifact(result, a)
+        write_artifact(result, b)
+        _, meta_a = read_header(a)
+        _, meta_b = read_header(b)
+        assert meta_a["payload_crc32"] == meta_b["payload_crc32"]
+        assert meta_a["columns"] == meta_b["columns"]
+
+
+def _chunk_coreness(artifact, chunk):
+    # Module-level so ProcessBackend can pickle it; the artifact arrives
+    # via broadcast and re-maps in each worker (__reduce__ ships the path).
+    return [artifact.core_of(artifact.clique_of(rid)) for rid in chunk]
+
+
+class TestSharing:
+    def test_pickle_round_trip(self, planted_point):
+        _, index, path = planted_point
+        artifact = load_artifact(path)
+        clone = pickle.loads(pickle.dumps(artifact))
+        assert clone.path == path
+        assert clone.top_k_densest(3) == index.top_k_densest(3)
+
+    def test_process_backend_broadcast(self, planted_point):
+        from repro.parallel.backend import ProcessBackend
+        _, index, path = planted_point
+        artifact = load_artifact(path)
+        rids = list(range(artifact.n_leaves))
+        expected = [float(c) for c in np.asarray(artifact.core)]
+        with ProcessBackend(workers=2) as backend:
+            token = backend.broadcast(artifact)
+            chunks = backend.map_chunks(_chunk_coreness, rids, token=token)
+        got = [v for chunk in chunks for v in chunk]
+        assert got == expected
+
+    def test_concurrent_readers_one_mapping(self, planted_point, planted):
+        _, index, path = planted_point
+        artifact = load_artifact(path)
+        expected = {v: index.membership(v) for v in range(planted.n)}
+        failures = []
+
+        def reader(offset):
+            for v in range(planted.n):
+                u = (v + offset) % planted.n
+                if artifact.membership(u) != expected[u]:
+                    failures.append((offset, u))
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_invalidates(self, planted, tmp_path):
+        _, _, path = build_artifact(planted, 2, 3, tmp_path)
+        artifact = load_artifact(path)
+        assert artifact.nbytes > 0
+        artifact.close()
+        artifact.close()
+        assert artifact.nbytes == 0
+
+    def test_context_manager(self, planted_point):
+        _, _, path = planted_point
+        with load_artifact(path) as artifact:
+            assert len(artifact) > 0
+        assert artifact.nbytes == 0
+
+    def test_repr_mentions_shape(self, planted_point):
+        _, _, path = planted_point
+        artifact = load_artifact(path)
+        assert "DecompositionArtifact" in repr(artifact)
+        assert str(artifact.r) in repr(artifact)
