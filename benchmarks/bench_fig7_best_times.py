@@ -8,9 +8,12 @@ estimated work exceeds the budget are reported as OOM/timeout, mirroring
 the paper's omitted bars (its friendster and large-(r,s) cases).
 
 ``--json`` additionally writes ``BENCH_fig7.json`` at the repo root: the
-grid rows plus a dict-vs-CSR peeling comparison (the flat-array layout +
+grid rows, a dict-vs-CSR peeling comparison (the flat-array layout +
 vectorized kernel against the Python dict/list path, same coreness
-asserted) in the uniform :func:`bench_common.bench_row` schema.
+asserted), and an array-vs-loop enumeration-kernel comparison split into
+``enumerate``/``build``/``peel``/``total`` stage rows (identical cliques,
+incidence, and coreness asserted) -- all in the uniform
+:func:`bench_common.bench_row` schema.
 """
 
 from __future__ import annotations
@@ -18,10 +21,16 @@ from __future__ import annotations
 import argparse
 from typing import Dict
 
+import numpy as np
+
 from repro import nucleus_decomposition
 from repro.analysis.reporting import banner, format_table
+from repro.cliques.enumeration import enumerate_cliques
+from repro.cliques.incidence import build_incidence
+from repro.cliques.list_kernel import clique_matrix
 from repro.core.api import choose_method
 from repro.core.nucleus import peel_exact, prepare
+from repro.graphs.orientation import arb_orient
 from repro.parallel.counters import WorkSpanCounter
 
 from bench_common import (SKIPPED, bench_graph, bench_row, emit_json,
@@ -117,6 +126,89 @@ def run_peel_comparison(configs=PEEL_COMPARISON, repeats: int = 3):
     return rows
 
 
+def run_stage_comparison(configs=PEEL_COMPARISON, repeats: int = 3):
+    """Array vs loop enumeration kernel, stage by stage.
+
+    For each configuration and each kernel the pipeline is split into the
+    stages the paper's Figure 6/7 breakdowns use: ``enumerate`` (s-clique
+    listing alone), ``build`` (the full CSR incidence construction,
+    enumeration included), ``peel`` (exact peeling of the built
+    incidence) and ``total`` (build + peel). Every stage is the best of
+    ``repeats`` wall-clocks on a fresh orientation, so the array rows pay
+    for their own CSR/flat-array conversions. The two kernels' clique
+    matrices, incidence arrays, and coreness are asserted identical
+    before any row is emitted -- a slow-but-wrong kernel cannot win.
+
+    Returns uniform json rows, one per (config, kernel, stage); array
+    rows carry ``speedup`` = loop seconds / array seconds.
+    """
+    rows = []
+    for name, r, s in configs:
+        graph = bench_graph(name)
+        if not within_budget(graph, r, s):
+            rows.append(bench_row(name, r, s, None, stage="enumerate"))
+            continue
+        stage_seconds = {}
+        artifacts = {}
+        for kernel in ("loop", "array"):
+            if kernel == "loop":
+                def enum_once():
+                    orientation = arb_orient(graph)
+                    return timed(lambda: list(enumerate_cliques(orientation,
+                                                                s)))
+            else:
+                def enum_once():
+                    orientation = arb_orient(graph)
+                    return timed(lambda: clique_matrix(orientation, s))
+
+            def build_once():
+                orientation = arb_orient(graph)
+                return timed(lambda: build_incidence(
+                    graph, r, s, strategy="csr", kernel=kernel,
+                    orientation=orientation))
+
+            enum_run = min((enum_once() for _ in range(repeats)),
+                           key=lambda run: run.seconds)
+            build_run = min((build_once() for _ in range(repeats)),
+                            key=lambda run: run.seconds)
+            incidence = build_run.payload[2]
+            peel_run = min((timed(lambda: peel_exact(incidence))
+                            for _ in range(repeats)),
+                           key=lambda run: run.seconds)
+            stage_seconds[kernel] = {
+                "enumerate": enum_run.seconds,
+                "build": build_run.seconds,
+                "peel": peel_run.seconds,
+                "total": build_run.seconds + peel_run.seconds,
+            }
+            artifacts[kernel] = (enum_run.payload, incidence,
+                                 peel_run.payload)
+        # Differential verification: both kernels produced the same
+        # cliques, the same incidence arrays, and the same decomposition.
+        cliques, loop_inc, loop_peel = artifacts["loop"]
+        matrix, array_inc, array_peel = artifacts["array"]
+        assert matrix.shape[0] == len(cliques), (name, r, s)
+        assert [tuple(row) for row in matrix.tolist()] == cliques
+        assert np.array_equal(loop_inc.member_array, array_inc.member_array)
+        assert np.array_equal(loop_inc.posting_indptr,
+                              array_inc.posting_indptr)
+        assert np.array_equal(loop_inc.posting_indices,
+                              array_inc.posting_indices)
+        assert np.array_equal(loop_inc.degree_array, array_inc.degree_array)
+        assert array_peel.core == loop_peel.core, (name, r, s)
+        assert array_peel.rho == loop_peel.rho
+        for kernel in ("loop", "array"):
+            for stage, seconds in stage_seconds[kernel].items():
+                extra = {}
+                if kernel == "array":
+                    extra["speedup"] = round(
+                        stage_seconds["loop"][stage] / seconds, 2)
+                rows.append(bench_row(
+                    name, r, s, seconds, stage=stage, kernel=kernel,
+                    strategy="csr", backend="serial", workers=1, **extra))
+    return rows
+
+
 def grid_json_rows(rows):
     """The Figure 7 grid in the uniform json row schema."""
     return [bench_row(name, r, s, seconds, stage="total",
@@ -151,6 +243,18 @@ def test_peel_comparison_rows():
     assert by_strategy["csr"]["rho"] == by_strategy["materialized"]["rho"]
 
 
+def test_stage_comparison_rows():
+    rows = run_stage_comparison(configs=(("dblp", 2, 3),), repeats=1)
+    finished = [row for row in rows if not row["skipped"]]
+    assert finished, "budget guard skipped the comparison"
+    stages = {(row["kernel"], row["stage"]) for row in finished}
+    for kernel in ("loop", "array"):
+        for stage in ("enumerate", "build", "peel", "total"):
+            assert (kernel, stage) in stages
+    assert all("speedup" in row for row in finished
+               if row["kernel"] == "array")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", action="store_true",
@@ -160,13 +264,21 @@ def main(argv=None) -> int:
     print(build_report(rows))
     if args.json:
         comparison = run_peel_comparison()
-        path = emit_json("fig7", grid_json_rows(rows) + comparison)
+        stages = run_stage_comparison()
+        path = emit_json("fig7",
+                         grid_json_rows(rows) + comparison + stages)
         print(f"\nwrote {path}")
         finished = [row for row in comparison
                     if not row["skipped"] and row["strategy"] == "csr"]
         for row in finished:
             print(f"  peel {row['graph']} ({row['r']},{row['s']}): "
                   f"csr {row['seconds']:.4f}s, {row['speedup']}x vs dict")
+        for row in stages:
+            if row["skipped"] or row.get("kernel") != "array":
+                continue
+            print(f"  {row['stage']:<9} {row['graph']} "
+                  f"({row['r']},{row['s']}): array {row['seconds']:.4f}s, "
+                  f"{row['speedup']}x vs loop")
     return 0
 
 

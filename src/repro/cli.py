@@ -38,7 +38,7 @@ from . import __version__
 from .analysis.reporting import format_table
 from .cliques.incidence import INCIDENCE_STRATEGIES
 from .core.api import EXACT_METHODS, nucleus_decomposition
-from .core.nucleus import KERNEL_NAMES
+from .core.nucleus import KERNEL_CHOICES
 from .parallel.backend import BACKEND_NAMES
 from .core.queries import HierarchyQueryIndex, hierarchy_statistics
 from .errors import ReproError
@@ -71,9 +71,12 @@ def _add_decomposition_arguments(parser: argparse.ArgumentParser) -> None:
                         help="s-clique incidence strategy: 'materialized' "
                              "(dict/list), 'reenum' (space-lean), or 'csr' "
                              "(flat numpy arrays + vectorized peeling)")
-    parser.add_argument("--kernel", default="auto", choices=KERNEL_NAMES,
-                        help="peeling kernel: 'auto' (vectorized on csr, "
-                             "loop otherwise), 'vectorized', or 'loop'")
+    parser.add_argument("--kernel", default="auto", choices=KERNEL_CHOICES,
+                        help="compute kernel for enumeration + peeling: "
+                             "'auto' (array paths where applicable), "
+                             "'array' (force flat-array enumeration), "
+                             "'vectorized' (force array peeling; needs "
+                             "--strategy csr), or 'loop' (scalar oracle)")
     parser.add_argument("--backend", default="serial",
                         choices=BACKEND_NAMES,
                         help="execution backend: 'serial' (instrumented "

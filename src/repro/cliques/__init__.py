@@ -7,6 +7,9 @@ from .enumeration import (Clique, clique_degeneracy_guard, cliques_containing,
 from .incidence import (MaterializedIncidence, MemberTuple, ReEnumIncidence,
                         build_incidence, validate_rs)
 from .index import CliqueIndex
+from .list_kernel import (ENUM_KERNEL_NAMES, clique_matrix, clique_matrix_via,
+                          count_cliques_array, intersect_sorted,
+                          use_array_kernel)
 
 __all__ = [
     "Clique", "clique_degeneracy_guard", "cliques_containing",
@@ -14,4 +17,6 @@ __all__ = [
     "enumerate_cliques_via", "list_cliques", "triangle_count",
     "MaterializedIncidence", "MemberTuple", "ReEnumIncidence",
     "build_incidence", "validate_rs", "CliqueIndex",
+    "ENUM_KERNEL_NAMES", "clique_matrix", "clique_matrix_via",
+    "count_cliques_array", "intersect_sorted", "use_array_kernel",
 ]

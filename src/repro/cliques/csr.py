@@ -52,6 +52,7 @@ from ..graphs.graph import Graph
 from ..graphs.orientation import Orientation
 from .enumeration import enumerate_cliques
 from .index import CliqueIndex
+from .list_kernel import clique_matrix, clique_matrix_via, use_array_kernel
 
 MemberTuple = Tuple[int, ...]
 
@@ -95,6 +96,19 @@ def _postings_csr(members: np.ndarray,
     return indptr, indices.astype(np.int64, copy=False), degrees
 
 
+def member_degree_counts(members: np.ndarray, n_r: int) -> List[int]:
+    """Initial s-clique degree per r-clique id from the member-id rows.
+
+    One ``bincount`` over the flattened rows -- the degrees-only slice of
+    :func:`_postings_csr` for strategies that never store postings
+    (``ReEnumIncidence``).
+    """
+    flat = members.ravel()
+    if not flat.size:
+        return [0] * n_r
+    return np.bincount(flat, minlength=n_r).tolist()
+
+
 class CSRIncidence:
     """Incidence with all s-cliques stored in flat CSR numpy arrays."""
 
@@ -104,7 +118,8 @@ class CSRIncidence:
                  index: CliqueIndex, s: int,
                  counter: Optional[WorkSpanCounter] = None,
                  backend: Optional[ExecutionBackend] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 kernel: str = "auto") -> None:
         from .incidence import _members_chunk, _use_pool, validate_rs
         counter = counter if counter is not None else NullCounter()
         validate_rs(index.r, s)
@@ -115,7 +130,18 @@ class CSRIncidence:
         self.s = s
         self.s_choose_r = comb(s, index.r)
         n_r = len(index)
-        if _use_pool(backend):
+        if use_array_kernel(kernel):
+            # Array-native path: the flat kernel emits the s-cliques as
+            # one (n_s, s) matrix (workers return matrices against the
+            # shared-memory-broadcast CSR orientation), and member ids
+            # resolve via bulk CliqueIndex.ids_of -- no tuple round-trip.
+            if _use_pool(backend):
+                matrix = clique_matrix_via(backend, orientation, s, counter,
+                                           chunk_size=chunk_size)
+            else:
+                matrix = clique_matrix(orientation, s, counter)
+            members = member_id_array(index, matrix, s)
+        elif _use_pool(backend):
             # Same fan-out as MaterializedIncidence: per-vertex s-clique
             # listing + member-id computation in workers, walked in
             # vertex-major chunk order so sids match the streaming path.

@@ -143,8 +143,18 @@ def enumerate_cliques_via(backend: ExecutionBackend, orientation: Orientation,
 
 
 def count_cliques(orientation: Orientation, k: int,
-                  counter: Optional[WorkSpanCounter] = None) -> int:
-    """Number of k-cliques (same traversal as :func:`enumerate_cliques`)."""
+                  counter: Optional[WorkSpanCounter] = None,
+                  kernel: str = "auto") -> int:
+    """Number of k-cliques; same count and meters for every ``kernel``.
+
+    ``"auto"``/``"array"`` run the flat-array kernel's count-only mode
+    (:func:`repro.cliques.list_kernel.count_cliques_array`), which never
+    materializes a clique tuple; ``"loop"`` drains the recursive
+    generator (the differential oracle).
+    """
+    from .list_kernel import count_cliques_array, use_array_kernel
+    if use_array_kernel(kernel):
+        return count_cliques_array(orientation, k, counter)
     return sum(1 for _ in enumerate_cliques(orientation, k, counter))
 
 
@@ -191,11 +201,15 @@ def cliques_containing(graph: Graph, base: Clique, extra: int) -> Iterator[Cliqu
 
 
 def triangle_count(graph: Graph) -> int:
-    """Total triangles (reference helper; independent of the orientation)."""
-    total = 0
-    for u, v in graph.edges():
-        total += len(graph.neighbor_set(u) & graph.neighbor_set(v))
-    return total // 3
+    """Total triangles, counted over a low out-degree orientation.
+
+    Orients the graph and runs the count-only array kernel at ``k=3`` --
+    ``O(m * alpha)`` work instead of the per-edge neighborhood
+    intersections of the undirected formulation.
+    """
+    from ..graphs.orientation import arb_orient
+    from .list_kernel import count_cliques_array
+    return count_cliques_array(arb_orient(graph), 3)
 
 
 def clique_degeneracy_guard(orientation: Orientation, k: int,
@@ -207,8 +221,16 @@ def clique_degeneracy_guard(orientation: Orientation, k: int,
     hours (mirrors the paper's 4-hour timeout discipline).
     """
     from math import comb
-    bound = sum(comb(orientation.out_degree(v), max(k - 1, 0))
-                for v in range(orientation.graph.n))
+    import numpy as np
+    degrees = orientation.csr().out_degrees()
+    if degrees.size:
+        # One comb() per distinct out-degree instead of one per vertex.
+        histogram = np.bincount(degrees)
+        bound = sum(int(multiplicity) * comb(d, max(k - 1, 0))
+                    for d, multiplicity in enumerate(histogram.tolist())
+                    if multiplicity)
+    else:
+        bound = 0
     if bound > limit:
         raise ParameterError(
             f"estimated {bound} clique-extension steps exceeds limit {limit}; "

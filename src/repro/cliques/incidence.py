@@ -41,6 +41,7 @@ from ..graphs.orientation import Orientation, arb_orient
 from .enumeration import (Clique, cliques_containing, cliques_of_vertices,
                           enumerate_cliques)
 from .index import CliqueIndex
+from .list_kernel import clique_matrix, clique_matrix_via, use_array_kernel
 
 MemberTuple = Tuple[int, ...]
 
@@ -62,12 +63,11 @@ def _members_chunk(context, vertices: List[int],
     vertices, so concatenating chunk results in chunk order reproduces
     the streaming construction exactly.
     """
+    from .csr import member_id_array
     orientation, index = context
     s_cliques, work = cliques_of_vertices(orientation, vertices, s)
-    r = index.r
-    members = [tuple(index.id_of(sub) for sub in combinations(c, r))
-               for c in s_cliques]
-    return members, work
+    rows = member_id_array(index, s_cliques, s)
+    return [tuple(row) for row in rows.tolist()], work
 
 
 def _degrees_chunk(context, vertices: List[int],
@@ -106,7 +106,8 @@ class MaterializedIncidence:
                  index: CliqueIndex, s: int,
                  counter: Optional[WorkSpanCounter] = None,
                  backend: Optional[ExecutionBackend] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 kernel: str = "auto") -> None:
         counter = counter if counter is not None else NullCounter()
         validate_rs(index.r, s)
         self.graph = graph
@@ -117,7 +118,24 @@ class MaterializedIncidence:
         self.s_choose_r = comb(s, index.r)
         members: List[MemberTuple] = []
         postings: List[List[int]] = [[] for _ in index.ids()]
-        if _use_pool(backend):
+        if use_array_kernel(kernel):
+            # Array kernel: one clique matrix + bulk member-id lookup;
+            # the streaming sid/postings walk below is order-identical to
+            # the tuple paths because the matrix rows are in enumeration
+            # order.
+            from .csr import member_id_array
+            if _use_pool(backend):
+                matrix = clique_matrix_via(backend, orientation, s, counter,
+                                           chunk_size=chunk_size)
+            else:
+                matrix = clique_matrix(orientation, s, counter)
+            for member_ids in map(tuple,
+                                  member_id_array(index, matrix, s).tolist()):
+                sid = len(members)
+                members.append(member_ids)
+                for rid in member_ids:
+                    postings[rid].append(sid)
+        elif _use_pool(backend):
             # Per-vertex s-clique listing + member-id computation in
             # worker processes; sid assignment and postings stay in the
             # parent, walking chunk results in vertex-major order so the
@@ -192,7 +210,8 @@ class ReEnumIncidence:
                  index: CliqueIndex, s: int,
                  counter: Optional[WorkSpanCounter] = None,
                  backend: Optional[ExecutionBackend] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 kernel: str = "auto") -> None:
         counter = counter if counter is not None else NullCounter()
         validate_rs(index.r, s)
         self.graph = graph
@@ -203,7 +222,20 @@ class ReEnumIncidence:
         self.s_choose_r = comb(s, index.r)
         degrees = [0] * len(index)
         n_s = 0
-        if _use_pool(backend):
+        if use_array_kernel(kernel):
+            # Array kernel: degrees are one bincount over the bulk
+            # member-id rows; addition commutes, so the result matches
+            # the streaming increments exactly.
+            from .csr import member_degree_counts, member_id_array
+            if _use_pool(backend):
+                matrix = clique_matrix_via(backend, orientation, s, counter,
+                                           chunk_size=chunk_size)
+            else:
+                matrix = clique_matrix(orientation, s, counter)
+            rows = member_id_array(index, matrix, s)
+            degrees = member_degree_counts(rows, len(index))
+            n_s = rows.shape[0]
+        elif _use_pool(backend):
             token = backend.broadcast((orientation, index))
             results = backend.map_chunks(partial(_degrees_chunk, s=s),
                                          range(graph.n), token=token,
@@ -258,13 +290,22 @@ def build_incidence(graph: Graph, r: int, s: int,
                     counter: Optional[WorkSpanCounter] = None,
                     orientation: Optional[Orientation] = None,
                     backend: Optional[ExecutionBackend] = None,
-                    chunk_size: Optional[int] = None):
+                    chunk_size: Optional[int] = None,
+                    kernel: str = "auto"):
     """Orient the graph, index the r-cliques, and build the incidence.
 
     Returns ``(orientation, index, incidence)`` -- the common preamble of
     every decomposition algorithm (Algorithm 2/3, lines 3-5). When a
     parallel ``backend`` is given, the r-clique listing and the s-clique
     degree/incidence construction dispatch through it.
+
+    ``kernel`` selects the enumeration engine
+    (:data:`~repro.cliques.list_kernel.ENUM_KERNEL_NAMES`): ``"auto"``
+    and ``"array"`` run the flat-array ``REC-LIST-CLIQUES`` kernel for
+    both the r-clique indexing and the s-clique incidence; ``"loop"``
+    forces the recursive tuple enumerator (the differential oracle).
+    Results -- cliques, ids, incidence layout, and work/span meters --
+    are identical either way.
     """
     validate_rs(r, s)
     counter = counter if counter is not None else NullCounter()
@@ -272,18 +313,22 @@ def build_incidence(graph: Graph, r: int, s: int,
         orientation = arb_orient(graph, counter=counter)
     index = CliqueIndex.from_orientation(orientation, r, counter,
                                          backend=backend,
-                                         chunk_size=chunk_size)
+                                         chunk_size=chunk_size,
+                                         kernel=kernel)
     if strategy == "materialized":
         incidence = MaterializedIncidence(graph, orientation, index, s,
                                           counter, backend=backend,
-                                          chunk_size=chunk_size)
+                                          chunk_size=chunk_size,
+                                          kernel=kernel)
     elif strategy == "reenum":
         incidence = ReEnumIncidence(graph, orientation, index, s, counter,
-                                    backend=backend, chunk_size=chunk_size)
+                                    backend=backend, chunk_size=chunk_size,
+                                    kernel=kernel)
     elif strategy == "csr":
         from .csr import CSRIncidence
         incidence = CSRIncidence(graph, orientation, index, s, counter,
-                                 backend=backend, chunk_size=chunk_size)
+                                 backend=backend, chunk_size=chunk_size,
+                                 kernel=kernel)
     else:
         raise ParameterError(
             f"unknown incidence strategy {strategy!r}; "

@@ -49,6 +49,11 @@ class CliqueIndex:
     strictly increasing sequence of canonical tuples -- chunked
     enumeration pipelines that pre-sort their output (``list_cliques``)
     therefore skip the redundant re-sort entirely.
+
+    The tuple -> id dict behind :meth:`id_of` is built lazily on first
+    scalar lookup: array-native pipelines resolve ids exclusively through
+    the vectorized :meth:`ids_of` (a ``searchsorted`` over the encoded
+    key table) and never pay for hashing every clique tuple.
     """
 
     __slots__ = ("r", "_cliques", "_ids", "_encoded")
@@ -60,6 +65,7 @@ class CliqueIndex:
         else:
             self._cliques = sorted({tuple(sorted(c)) for c in as_tuples})
         self._encoded = None  # lazy int64 key table for bulk lookups
+        self._ids: Optional[Dict[Clique, int]] = None  # lazy scalar map
         if self._cliques:
             sizes = {len(c) for c in self._cliques}
             if len(sizes) != 1:
@@ -74,23 +80,73 @@ class CliqueIndex:
                 raise ParameterError(
                     "r must be given explicitly for an empty index")
             self.r = r
-        self._ids: Dict[Clique, int] = {
-            c: i for i, c in enumerate(self._cliques)}
+
+    @classmethod
+    def from_matrix(cls, matrix, r: int) -> "CliqueIndex":
+        """Index the r-cliques given as an ``(m, r)`` int64 matrix.
+
+        The array-native constructor: rows are canonicalized (sorted
+        along axis 1), lexicographically sorted, and deduplicated with
+        numpy before the tuple list is materialized in one
+        ``tolist()`` -- no per-row hashing or Python-level sort. Ids are
+        identical to the streaming constructor's (canonical sorted
+        order).
+        """
+        import numpy as np
+        if r < 1:
+            raise ParameterError(f"r must be >= 1, got {r}")
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, r)
+        if arr.ndim != 2 or arr.shape[1] != r:
+            raise ParameterError(
+                f"from_matrix expects an (m, {r}) array, got shape "
+                f"{arr.shape}")
+        if arr.shape[0]:
+            arr = np.sort(arr, axis=1)
+            # lexsort keys run minor-to-major, so reversed columns sort
+            # rows exactly like Python tuple comparison would.
+            arr = arr[np.lexsort(arr.T[::-1])]
+            keep = np.empty(arr.shape[0], dtype=bool)
+            keep[0] = True
+            np.any(arr[1:] != arr[:-1], axis=1, out=keep[1:])
+            arr = arr[keep]
+        self = cls.__new__(cls)
+        self.r = r
+        self._cliques = [tuple(row) for row in arr.tolist()]
+        self._ids = None
+        self._encoded = None
+        return self
 
     @classmethod
     def from_orientation(cls, orientation: Orientation, r: int,
                          counter: Optional[WorkSpanCounter] = None,
                          backend=None,
-                         chunk_size: Optional[int] = None) -> "CliqueIndex":
+                         chunk_size: Optional[int] = None,
+                         kernel: str = "auto") -> "CliqueIndex":
         """Enumerate and index all r-cliques of the graph.
 
-        A parallel execution ``backend`` (see
-        :mod:`repro.parallel.backend`) dispatches the per-vertex listing
-        to worker processes; ids are unaffected because the index sorts
-        canonically either way.
+        ``kernel`` selects the enumeration engine (see
+        :mod:`repro.cliques.list_kernel`): the array kernel feeds
+        :meth:`from_matrix` directly, the recursive ``"loop"`` oracle
+        streams tuples into the plain constructor. A parallel execution
+        ``backend`` (see :mod:`repro.parallel.backend`) dispatches the
+        per-vertex listing to worker processes; ids are unaffected by
+        any of these choices because the index sorts canonically either
+        way.
         """
         counter = counter if counter is not None else NullCounter()
-        if backend is not None and backend.is_parallel():
+        from .list_kernel import (clique_matrix, clique_matrix_via,
+                                  use_array_kernel)
+        pooled = backend is not None and backend.is_parallel()
+        if use_array_kernel(kernel):
+            if pooled:
+                matrix = clique_matrix_via(backend, orientation, r, counter,
+                                           chunk_size=chunk_size)
+            else:
+                matrix = clique_matrix(orientation, r, counter)
+            return cls.from_matrix(matrix, r=r)
+        if pooled:
             from .enumeration import enumerate_cliques_via
             return cls(enumerate_cliques_via(backend, orientation, r, counter,
                                              chunk_size=chunk_size), r=r)
@@ -100,17 +156,24 @@ class CliqueIndex:
         return len(self._cliques)
 
     def __contains__(self, clique: Clique) -> bool:
-        return tuple(sorted(clique)) in self._ids
+        return tuple(sorted(clique)) in self._id_map()
 
     def __iter__(self) -> Iterator[Clique]:
         return iter(self._cliques)
 
+    def _id_map(self) -> Dict[Clique, int]:
+        """The tuple -> id dict, built on first scalar lookup."""
+        if self._ids is None:
+            self._ids = {c: i for i, c in enumerate(self._cliques)}
+        return self._ids
+
     def id_of(self, clique: Sequence[int]) -> int:
         """Id of the clique with the given vertices (any order)."""
         key = tuple(sorted(clique))
-        if key not in self._ids:
+        ids = self._id_map()
+        if key not in ids:
             raise DataStructureError(f"clique {key} is not in the index")
-        return self._ids[key]
+        return ids[key]
 
     # -- bulk (vectorized) lookup -----------------------------------------
 
@@ -180,7 +243,7 @@ class CliqueIndex:
 
     def get(self, clique: Sequence[int]) -> Optional[int]:
         """Id of the clique, or ``None`` if absent."""
-        return self._ids.get(tuple(sorted(clique)))
+        return self._id_map().get(tuple(sorted(clique)))
 
     def clique_of(self, ident: int) -> Clique:
         """Canonical vertex tuple of the clique with id ``ident``."""

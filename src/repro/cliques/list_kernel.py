@@ -1,0 +1,282 @@
+"""Array-native k-clique listing: the non-recursive ``REC-LIST-CLIQUES``.
+
+The recursive enumerator (:mod:`repro.cliques.enumeration`) walks the
+orientation's out-neighborhoods with Python lists and set probes, and
+emits one ``tuple`` per clique -- per-clique interpreter overhead that
+dominates the build stage once peeling is fast (the paper's Figure 6/7
+breakdowns; Shi et al., *Parallel Clique Counting* keep the equivalent
+stage in flat ParlayLib arrays for exactly this reason).
+
+This module is the flat-array replacement:
+
+* the DFS uses an **explicit stack** over rank-space candidate arrays
+  (see :class:`~repro.graphs.orientation.CSROrientation`), so candidate
+  intersection is a vectorized ``searchsorted`` merge of two ascending
+  int64 arrays instead of a Python list comprehension over a frozenset;
+* the leaf level emits whole candidate arrays as contiguous blocks, so a
+  k-clique never exists as a Python tuple: the result is one
+  ``(count, k)`` int64 matrix whose rows are the exact cliques
+  :func:`~repro.cliques.enumeration.enumerate_cliques` would yield, in
+  the same order, with vertices ascending;
+* a **count-only mode** never materializes blocks at all
+  (:func:`count_cliques_array`).
+
+Equivalence contract (pinned by ``tests/test_list_kernel.py``): for any
+orientation and ``k``, the emitted matrix equals the recursive
+enumerator's output row for row, and the work/span charged to a
+:class:`~repro.parallel.counters.WorkSpanCounter` is byte-identical --
+each DFS frame charges exactly what the corresponding recursion frame
+charges (``|C|`` at leaf frames, ``|C|^2`` at internal frames, one unit
+per root). The recursive enumerator therefore remains the differential
+oracle behind ``kernel="loop"``.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..graphs.orientation import CSROrientation, Orientation
+from ..parallel.backend import ExecutionBackend
+from ..parallel.counters import NullCounter, WorkSpanCounter, log2_ceil
+
+#: Enumeration kernel selectors accepted by ``build_incidence`` and
+#: ``CliqueIndex.from_orientation`` (the enumeration half of the API's
+#: unified ``kernel`` flag -- see ``repro.core.nucleus.split_kernel``).
+ENUM_KERNEL_NAMES = ("auto", "array", "loop")
+
+
+def use_array_kernel(kernel: str) -> bool:
+    """Validate an enumeration kernel name; True if the array path runs.
+
+    ``"auto"`` and ``"array"`` both select this module (numpy is a hard
+    dependency, so the array path is always available); ``"loop"`` forces
+    the recursive oracle.
+    """
+    if kernel not in ENUM_KERNEL_NAMES:
+        raise ParameterError(
+            f"unknown enumeration kernel {kernel!r}; "
+            f"expected one of {ENUM_KERNEL_NAMES}")
+    return kernel != "loop"
+
+
+def _as_csr(orientation: Union[Orientation, CSROrientation]) -> CSROrientation:
+    if isinstance(orientation, CSROrientation):
+        return orientation
+    return orientation.csr()
+
+
+def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two ascending int64 arrays, in ``a``'s order.
+
+    One ``searchsorted`` of ``a`` into ``b``: position clipping makes the
+    out-of-range probes compare unequal, so no mask bookkeeping is
+    needed. Both inputs are duplicate-free here (neighborhoods), so the
+    result is, too.
+    """
+    if a.size == 0 or b.size == 0:
+        return a[:0]
+    pos = np.searchsorted(b, a)
+    np.minimum(pos, b.size - 1, out=pos)
+    return a[b[pos] == a]
+
+
+def _segment_offsets(counts: np.ndarray, total: int) -> np.ndarray:
+    """Per-element offset within its segment, for ragged flat layouts.
+
+    ``counts`` gives segment lengths summing to ``total``; the result is
+    ``[0..counts[0]-1, 0..counts[1]-1, ...]``.
+    """
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def _list_chunk(csr: CSROrientation, vertices: Iterable[int], k: int,
+                blocks: Optional[List[np.ndarray]]) -> Tuple[int, int]:
+    """Level-synchronous ``REC-LIST-CLIQUES`` rooted at ``vertices``.
+
+    The whole DFS frontier advances one recursion level at a time: a
+    level holds the frames as one prefix matrix plus one ragged candidate
+    pool, and expanding every frame is a handful of bulk array
+    operations (ragged gathers plus one ``searchsorted`` of encoded edge
+    keys) instead of per-frame Python. Because frames stay in
+    lexicographic (root, then candidate) order and every expansion is
+    stable, the leaf level emits cliques in the recursive enumerator's
+    exact DFS order.
+
+    Appends rank-space ``(rows, k)`` blocks to ``blocks`` (pass ``None``
+    for count-only) and returns ``(count, work)``; ``work`` reproduces
+    the recursive enumerator's accounting level for level: one unit per
+    root, ``|C|^2`` per internal frame, ``|C|`` per leaf frame (frames
+    with empty candidate sets charge nothing in the recursion either, so
+    dropping them is meter-neutral). Peak memory is proportional to the
+    frontier -- the metered work of the level -- rather than the DFS
+    depth; the same space/regularity trade the paper's flat-array
+    artifact makes.
+    """
+    indptr = csr.indptr
+    nbrs = csr.nbrs
+    roots = np.fromiter(vertices, dtype=np.int64)
+    if k == 1:
+        if blocks is not None and roots.size:
+            blocks.append(csr.rank[roots].reshape(-1, 1))
+        return int(roots.size), int(roots.size)
+    work = int(roots.size)
+    if not roots.size:
+        return 0, work
+    n = csr.n
+    edge_keys = csr.edge_keys()
+    # Root frontier: one frame per root (in the given order), candidates
+    # = the root's out-row.
+    ranks = csr.rank[roots]
+    counts = indptr[ranks + 1] - indptr[ranks]
+    total = int(counts.sum())
+    pool = nbrs[np.repeat(indptr[ranks], counts) +
+                _segment_offsets(counts, total)]
+    prefixes = ranks.reshape(-1, 1)
+    for remaining in range(k - 1, 1, -1):
+        work += int((counts * counts).sum())
+        if not total:
+            break
+        # Expansion: frame (prefix P, candidates C) spawns one child per
+        # candidate C[j] -- prefix P+(C[j],), candidates the w in
+        # C[j+1:] with an edge C[j] -> w. Each pool element is a child
+        # frame; its raw candidates are the tail of its own segment.
+        frame_of = np.repeat(np.arange(counts.shape[0]), counts)
+        j_within = _segment_offsets(counts, total)
+        tail = counts[frame_of] - 1 - j_within
+        t_total = int(tail.sum())
+        prefixes = np.hstack((prefixes[frame_of], pool.reshape(-1, 1)))
+        if not t_total:
+            counts = np.zeros(total, dtype=np.int64)
+            pool = pool[:0]
+            total = 0
+            continue
+        frame_starts = np.cumsum(counts) - counts
+        tail_elems = pool[np.repeat(frame_starts[frame_of] + j_within + 1,
+                                    tail) + _segment_offsets(tail, t_total)]
+        # One bulk edge-existence test: is (u, w) a directed edge?
+        keys = np.repeat(pool, tail) * n + tail_elems
+        pos = np.searchsorted(edge_keys, keys)
+        np.minimum(pos, edge_keys.shape[0] - 1, out=pos)
+        kept = edge_keys[pos] == keys
+        counts = np.bincount(np.repeat(np.arange(total), tail)[kept],
+                             minlength=total)
+        pool = tail_elems[kept]
+        total = int(pool.shape[0])
+    # Leaf level: every frame's candidate array is a run of cliques.
+    work += total
+    if blocks is not None and total:
+        block = np.empty((total, k), dtype=np.int64)
+        block[:, :k - 1] = np.repeat(prefixes, counts, axis=0)
+        block[:, k - 1] = pool
+        blocks.append(block)
+    return total, work
+
+
+def _assemble(csr: CSROrientation, blocks: List[np.ndarray],
+              k: int) -> np.ndarray:
+    """Stack rank-space blocks into the final id-space clique matrix.
+
+    One bulk translation (rank -> vertex id) plus one row-wise sort
+    yields the canonical ascending-vertex rows the tuple enumerator
+    emits, without touching individual cliques in Python.
+    """
+    if not blocks:
+        return np.empty((0, k), dtype=np.int64)
+    matrix = csr.order[np.vstack(blocks)]
+    matrix.sort(axis=1)
+    return matrix
+
+
+def clique_matrix(orientation: Union[Orientation, CSROrientation], k: int,
+                  counter: Optional[WorkSpanCounter] = None) -> np.ndarray:
+    """All k-cliques as a contiguous ``(count, k)`` int64 matrix.
+
+    Row ``i`` is the ``i``-th clique
+    :func:`~repro.cliques.enumeration.enumerate_cliques` would emit
+    (vertices ascending); the metered work/span is identical, too.
+    """
+    if k < 1:
+        raise ParameterError(f"clique size must be >= 1, got {k}")
+    counter = counter if counter is not None else NullCounter()
+    csr = _as_csr(orientation)
+    blocks: List[np.ndarray] = []
+    _, work = _list_chunk(csr, range(csr.n), k, blocks)
+    counter.add_parallel(max(work, 1), k + log2_ceil(max(csr.n, 1)))
+    return _assemble(csr, blocks, k)
+
+
+def count_cliques_array(orientation: Union[Orientation, CSROrientation],
+                        k: int,
+                        counter: Optional[WorkSpanCounter] = None) -> int:
+    """Number of k-cliques, never materializing a single one.
+
+    The count-only mode of the kernel: the DFS runs identically (same
+    work/span charge as :func:`clique_matrix` and the recursive
+    enumerator) but leaf frames only add their candidate counts.
+    """
+    if k < 1:
+        raise ParameterError(f"clique size must be >= 1, got {k}")
+    counter = counter if counter is not None else NullCounter()
+    csr = _as_csr(orientation)
+    count, work = _list_chunk(csr, range(csr.n), k, None)
+    counter.add_parallel(max(work, 1), k + log2_ceil(max(csr.n, 1)))
+    return count
+
+
+def clique_matrix_of_vertices(orientation: Union[Orientation, CSROrientation],
+                              vertices: Iterable[int],
+                              k: int) -> Tuple[np.ndarray, int]:
+    """k-cliques rooted at ``vertices`` as ``(matrix, work)``.
+
+    The array sibling of
+    :func:`~repro.cliques.enumeration.cliques_of_vertices` -- the
+    per-vertex unit of the parallel top-level loop. Concatenating chunk
+    matrices in chunk order reproduces :func:`clique_matrix` exactly,
+    and the work integers sum to the serial total.
+    """
+    csr = _as_csr(orientation)
+    blocks: List[np.ndarray] = []
+    _, work = _list_chunk(csr, vertices, k, blocks)
+    return _assemble(csr, blocks, k), work
+
+
+def _matrix_chunk(csr: CSROrientation, vertices: List[int],
+                  k: int) -> Tuple[np.ndarray, int]:
+    """Backend chunk task wrapping :func:`clique_matrix_of_vertices`.
+
+    The broadcast context is the :class:`CSROrientation` itself (shipped
+    through shared memory by a process backend); the returned clique
+    matrix pickles as one contiguous buffer instead of a tuple list.
+    """
+    return clique_matrix_of_vertices(csr, vertices, k)
+
+
+def clique_matrix_via(backend: ExecutionBackend,
+                      orientation: Union[Orientation, CSROrientation], k: int,
+                      counter: Optional[WorkSpanCounter] = None,
+                      chunk_size: Optional[int] = None) -> np.ndarray:
+    """Backend-dispatched :func:`clique_matrix`: identical matrix + meters.
+
+    The top-level vertex loop is chunked across workers against the
+    shared-memory-broadcast CSR orientation; chunk matrices concatenate
+    in submission order, so the result does not depend on the backend,
+    worker count, or chunk size.
+    """
+    if k < 1:
+        raise ParameterError(f"clique size must be >= 1, got {k}")
+    counter = counter if counter is not None else NullCounter()
+    csr = _as_csr(orientation)
+    token = backend.broadcast(csr)
+    results = backend.map_chunks(partial(_matrix_chunk, k=k), range(csr.n),
+                                 token=token, chunk_size=chunk_size)
+    work = sum(chunk_work for _, chunk_work in results)
+    counter.add_parallel(max(work, 1), k + log2_ceil(max(csr.n, 1)))
+    parts = [matrix for matrix, _ in results if matrix.shape[0]]
+    if not parts:
+        return np.empty((0, k), dtype=np.int64)
+    return np.vstack(parts)

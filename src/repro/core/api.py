@@ -39,7 +39,7 @@ from .approx import (approx_anh_bl, approx_anh_el, approx_anh_te, peel_approx)
 from .decomposition import NucleusDecomposition
 from .framework import InterleavedResult, anh_bl, anh_el
 from .hierarchy_te import hierarchy_te_practical, hierarchy_te_theoretical
-from .nucleus import peel_exact, prepare
+from .nucleus import peel_exact, prepare, split_kernel
 
 EXACT_METHODS = ("anh-el", "anh-te", "anh-te-theory", "anh-bl", "nh", "naive")
 
@@ -101,11 +101,14 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
         Worker-process count for the process backend; ``workers >= 2``
         with ``backend=None`` implies ``backend="process"``.
     kernel:
-        Peeling kernel selector (see
-        :func:`~repro.core.nucleus.peel_exact`): ``"auto"`` (vectorized
-        array kernel on CSR incidences, scalar loop otherwise),
-        ``"vectorized"``, or ``"loop"``. Results are identical for every
-        kernel.
+        Unified kernel selector
+        (:data:`~repro.core.nucleus.KERNEL_CHOICES`), driving both the
+        clique enumeration engine and the peeling engine: ``"auto"``
+        (array paths everywhere they apply), ``"array"`` (force the
+        flat-array enumeration kernel), ``"vectorized"`` (force the
+        array peeling kernel; requires ``strategy="csr"``), or
+        ``"loop"`` (the scalar reference path for both stages). Results
+        are identical for every kernel.
     """
     if method == "auto":
         method = choose_method(r, s)
@@ -116,13 +119,14 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
     if approx and delta <= 0:
         raise ParameterError(f"delta must be > 0, got {delta}")
     counter = counter if counter is not None else WorkSpanCounter()
+    enum_kernel, peel_kernel = split_kernel(kernel)
     owns_backend = not isinstance(backend, ExecutionBackend)
     exec_backend = make_backend(backend, workers=workers)
 
     try:
         t_start = time.perf_counter()
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
-                           backend=exec_backend)
+                           backend=exec_backend, kernel=enum_kernel)
         t_prepared = time.perf_counter()
 
         if not hierarchy:
@@ -131,7 +135,8 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
                                        counter=counter)
             else:
                 coreness = peel_exact(prepared.incidence, counter=counter,
-                                      backend=exec_backend, kernel=kernel)
+                                      backend=exec_backend,
+                                      kernel=peel_kernel)
             result = NucleusDecomposition(
                 graph=graph, r=r, s=s, method="coreness-only",
                 index=prepared.index, coreness=coreness, tree=None,
@@ -139,7 +144,7 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
                 approx_delta=delta if approx else None)
         else:
             run = _run_hierarchy(graph, r, s, method, approx, delta, prepared,
-                                 counter, seed, exec_backend, kernel)
+                                 counter, seed, exec_backend, peel_kernel)
             result = NucleusDecomposition(
                 graph=graph, r=r, s=s, method=method,
                 index=prepared.index, coreness=run.coreness, tree=run.tree,

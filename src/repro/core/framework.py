@@ -22,7 +22,8 @@ from ..parallel.counters import WorkSpanCounter
 from ..graphs.graph import Graph
 from .link_basic import LinkBasic
 from .link_efficient import LinkEfficient
-from .nucleus import CorenessResult, NucleusInput, peel_exact, prepare
+from .nucleus import (CorenessResult, NucleusInput, peel_exact, prepare,
+                      split_kernel)
 from .tree import HierarchyTree
 
 
@@ -73,13 +74,14 @@ def anh_el(graph: Graph, r: int, s: int,
            kernel: str = "auto") -> InterleavedResult:
     """ANH-EL: interleaved framework with ``LINK-EFFICIENT`` (Algorithm 5)."""
     counter = counter if counter is not None else WorkSpanCounter()
+    enum_kernel, peel_kernel = split_kernel(kernel)
     if prepared is None:
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
-                           backend=backend)
+                           backend=backend, kernel=enum_kernel)
     return run_interleaved(prepared,
                            lambda core: LinkEfficient(core, seed=seed),
                            counter, peel=partial(peel_exact, backend=backend,
-                                                 kernel=kernel))
+                                                 kernel=peel_kernel))
 
 
 def anh_bl(graph: Graph, r: int, s: int,
@@ -98,9 +100,10 @@ def anh_bl(graph: Graph, r: int, s: int,
     complaint about ANH-BL).
     """
     counter = counter if counter is not None else WorkSpanCounter()
+    enum_kernel, peel_kernel = split_kernel(kernel)
     if prepared is None:
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
-                           backend=backend)
+                           backend=backend, kernel=enum_kernel)
     max_possible = max(prepared.incidence.initial_degrees(), default=0)
     levels = [float(i) for i in range(1, int(max_possible) + 1)]
 
@@ -109,4 +112,4 @@ def anh_bl(graph: Graph, r: int, s: int,
 
     return run_interleaved(prepared, make, counter,
                            peel=partial(peel_exact, backend=backend,
-                                        kernel=kernel))
+                                        kernel=peel_kernel))

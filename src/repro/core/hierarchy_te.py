@@ -41,7 +41,8 @@ from ..graphs.graph import Graph
 from ..parallel.counters import WorkSpanCounter, log2_ceil
 from ..parallel.primitives import par_sort
 from .framework import InterleavedResult
-from .nucleus import CorenessResult, NucleusInput, peel_exact, prepare
+from .nucleus import (CorenessResult, NucleusInput, peel_exact, prepare,
+                      split_kernel)
 from .tree import HierarchyTree, HierarchyTreeBuilder
 
 
@@ -291,13 +292,14 @@ def hierarchy_te_practical(graph: Graph, r: int, s: int,
     union-find carries over to lower levels.
     """
     counter = counter if counter is not None else WorkSpanCounter()
+    enum_kernel, peel_kernel = split_kernel(kernel)
     if prepared is None:
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
-                           backend=backend)
+                           backend=backend, kernel=enum_kernel)
     t0 = time.perf_counter()
     if coreness is None:
         coreness = peel_exact(prepared.incidence, counter=counter,
-                              backend=backend, kernel=kernel)
+                              backend=backend, kernel=peel_kernel)
     core = coreness.core
     t1 = time.perf_counter()
     n_r = prepared.n_r

@@ -82,6 +82,34 @@ def _gather_chunk(incidence, rids: List[int]) -> List[List[Tuple[int, ...]]]:
 #: Peeling kernel selectors accepted by :func:`peel_exact`.
 KERNEL_NAMES = ("auto", "vectorized", "loop")
 
+#: Unified kernel selectors accepted by the end-to-end entry points
+#: (:func:`arb_nucleus`, ``core.api``, the CLI ``--kernel`` flag). The
+#: flag drives two engines at once -- the enumeration kernel
+#: (:mod:`repro.cliques.list_kernel`) and the peeling kernel
+#: (:mod:`repro.core.peel_csr`); :func:`split_kernel` maps one user
+#: choice to the (enumeration, peeling) pair.
+KERNEL_CHOICES = ("auto", "array", "vectorized", "loop")
+
+
+def split_kernel(kernel: str) -> Tuple[str, str]:
+    """Split a unified kernel choice into ``(enum_kernel, peel_kernel)``.
+
+    ``"auto"`` lets both stages pick their array paths; ``"loop"`` forces
+    the scalar oracle in both. The stage-specific names pin one stage and
+    leave the other on ``"auto"``: ``"array"`` forces the flat-array
+    enumeration engine, ``"vectorized"`` forces the array peeling kernel
+    (which requires a CSR incidence, as before). Every combination
+    produces identical cliques, coreness, hierarchies, and meters.
+    """
+    if kernel not in KERNEL_CHOICES:
+        raise ParameterError(
+            f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}")
+    if kernel == "array":
+        return "array", "auto"
+    if kernel == "vectorized":
+        return "auto", "vectorized"
+    return kernel, kernel
+
 
 def peel_exact(incidence, counter: Optional[WorkSpanCounter] = None,
                link: Optional[LinkFn] = None,
@@ -236,18 +264,22 @@ class NucleusInput:
 def prepare(graph: Graph, r: int, s: int, strategy: str = "materialized",
             counter: Optional[WorkSpanCounter] = None,
             backend: Optional[ExecutionBackend] = None,
-            chunk_size: Optional[int] = None) -> NucleusInput:
+            chunk_size: Optional[int] = None,
+            kernel: str = "auto") -> NucleusInput:
     """Orient, index r-cliques, and build the s-clique incidence.
 
     The shared preamble (Algorithm 2/3, lines 3-5): ``ARB-ORIENT`` followed
     by ``REC-LIST-CLIQUES``-based counting. A parallel ``backend``
     dispatches the clique listing and incidence construction through
-    worker processes (results are backend-independent).
+    worker processes (results are backend-independent). ``kernel`` is the
+    *enumeration* kernel name passed to
+    :func:`~repro.cliques.incidence.build_incidence` (callers holding a
+    unified choice should pass ``split_kernel(kernel)[0]``).
     """
     validate_rs(r, s)
     orientation, index, incidence = build_incidence(
         graph, r, s, strategy=strategy, counter=counter, backend=backend,
-        chunk_size=chunk_size)
+        chunk_size=chunk_size, kernel=kernel)
     return NucleusInput(graph=graph, r=r, s=s, orientation=orientation,
                         index=index, incidence=incidence)
 
@@ -265,12 +297,16 @@ def arb_nucleus(graph: Graph, r: int, s: int,
     Returns a :class:`CorenessResult`; r-clique ids follow the
     :class:`~repro.cliques.index.CliqueIndex` order (pass ``prepared`` to
     reuse an existing preparation and its index). ``bucketing`` selects
-    the priority structure (see :func:`peel_exact`).
+    the priority structure (see :func:`peel_exact`); ``kernel`` is the
+    unified choice (:data:`KERNEL_CHOICES`) split across the enumeration
+    and peeling stages.
     """
     counter = counter if counter is not None else WorkSpanCounter()
+    enum_kernel, peel_kernel = split_kernel(kernel)
     if prepared is None:
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
-                           backend=backend, chunk_size=chunk_size)
+                           backend=backend, chunk_size=chunk_size,
+                           kernel=enum_kernel)
     return peel_exact(prepared.incidence, counter=counter, link=None,
                       bucketing=bucketing, backend=backend,
-                      chunk_size=chunk_size, kernel=kernel)
+                      chunk_size=chunk_size, kernel=peel_kernel)

@@ -33,7 +33,8 @@ class Orientation:
     sorted by rank -- the candidate set shape ``REC-LIST-CLIQUES`` needs.
     """
 
-    __slots__ = ("graph", "rank", "order", "_out", "_out_sets", "max_out_degree")
+    __slots__ = ("graph", "rank", "order", "_out", "_out_sets",
+                 "max_out_degree", "_csr")
 
     def __init__(self, graph: Graph, order: Sequence[int]) -> None:
         if sorted(order) != list(range(graph.n)):
@@ -51,6 +52,7 @@ class Orientation:
             self._out.append(tuple(outs))
         self._out_sets = [frozenset(o) for o in self._out]
         self.max_out_degree = max((len(o) for o in self._out), default=0)
+        self._csr: Optional["CSROrientation"] = None
 
     def out_neighbors(self, v: int) -> Tuple[int, ...]:
         return self._out[v]
@@ -61,9 +63,97 @@ class Orientation:
     def out_degree(self, v: int) -> int:
         return len(self._out[v])
 
+    def csr(self) -> "CSROrientation":
+        """The flat-array view of this orientation (built once, cached)."""
+        if self._csr is None:
+            self._csr = CSROrientation.from_orientation(self)
+        return self._csr
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Orientation(n={self.graph.n}, "
                 f"max_out_degree={self.max_out_degree})")
+
+
+class CSROrientation:
+    """Flat-array view of an :class:`Orientation`: rank-space int64 CSR.
+
+    The array-native clique kernel (:mod:`repro.cliques.list_kernel`)
+    works entirely in *rank space*: the out-neighbors of the vertex with
+    rank ``p`` are ``nbrs[indptr[p]:indptr[p + 1]]``, stored as ranks in
+    ascending order (all greater than ``p``). Every ``REC-LIST-CLIQUES``
+    candidate set is then an ascending int64 array, so neighborhood
+    intersections become vectorized ``searchsorted`` merges. ``order``
+    (rank -> vertex id) and ``rank`` (vertex id -> rank) translate
+    between the two spaces.
+
+    The class implements the
+    :class:`~repro.parallel.backend.ShareableContext` protocol, so a
+    :class:`~repro.parallel.backend.ProcessBackend` broadcast ships the
+    four arrays through ``multiprocessing.shared_memory`` (zero-copy,
+    once per pool) instead of pickling the tuple-based orientation.
+    """
+
+    __slots__ = ("n", "indptr", "nbrs", "order", "rank", "_keys")
+
+    def __init__(self, n: int, indptr, nbrs, order, rank) -> None:
+        self.n = n
+        self.indptr = indptr
+        self.nbrs = nbrs
+        self.order = order
+        self.rank = rank
+        self._keys = None
+
+    @classmethod
+    def from_orientation(cls, orientation: "Orientation") -> "CSROrientation":
+        import numpy as np
+        n = orientation.graph.n
+        rank = np.asarray(orientation.rank, dtype=np.int64)
+        order = np.asarray(orientation.order, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        flat: List[int] = []
+        # Row p holds the out-neighborhood of the vertex ranked p; the
+        # per-vertex tuples are already sorted by rank, so mapping them
+        # through ``rank`` yields ascending rows without a sort.
+        for p, v in enumerate(orientation.order):
+            outs = orientation.out_neighbors(v)
+            indptr[p + 1] = indptr[p] + len(outs)
+            flat.extend(outs)
+        nbrs = rank[np.asarray(flat, dtype=np.int64)] if flat \
+            else np.empty(0, dtype=np.int64)
+        return cls(n, indptr, nbrs, order, rank)
+
+    def out_degrees(self):
+        """Out-degree per rank position (int64 array)."""
+        import numpy as np
+        return np.diff(self.indptr)
+
+    def edge_keys(self):
+        """Sorted int64 keys ``source_rank * n + target_rank``, one per edge.
+
+        Encodes the whole directed edge set as one ascending array (rows
+        are ascending and row order follows rank), so edge-existence
+        tests over arbitrarily many pairs collapse to one
+        ``searchsorted``. Built lazily, cached per instance (worker-side
+        imports rebuild their own copy).
+        """
+        if self._keys is None:
+            import numpy as np
+            sources = np.repeat(np.arange(self.n, dtype=np.int64),
+                                np.diff(self.indptr))
+            self._keys = sources * self.n + self.nbrs
+        return self._keys
+
+    # -- ShareableContext protocol ----------------------------------------
+
+    def __shm_export__(self):
+        return {"n": self.n}, (self.indptr, self.nbrs, self.order, self.rank)
+
+    @classmethod
+    def __shm_import__(cls, meta, arrays) -> "CSROrientation":
+        return cls(meta["n"], *arrays)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSROrientation(n={self.n}, m={self.nbrs.shape[0]})"
 
 
 def degeneracy_order(graph: Graph) -> Tuple[List[int], int]:

@@ -180,7 +180,11 @@ class TestSharedMemoryBroadcast:
         with ProcessBackend(workers=2) as shm_on:
             with_shm = self._run(planted, shm_on)
             assert shm_on.shm_fallback_reason is None
-            assert shm_on.shm_segments() == 4  # the four CSR arrays
+            # 4 arrays for the CSR orientation (broadcast once for the
+            # r-clique indexing and s-clique listing -- deduplicated by
+            # object identity) + 4 for the CSR incidence the loop-kernel
+            # peel broadcasts.
+            assert shm_on.shm_segments() == 8
         assert shm_on.shm_segments() == 0  # released on close
         with ProcessBackend(workers=2, use_shared_memory=False) as shm_off:
             without_shm = self._run(planted, shm_off)
@@ -206,9 +210,12 @@ class TestSharedMemoryBroadcast:
         assert degraded == serial
 
     def test_non_shareable_contexts_untouched(self, planted):
-        """(orientation, index) tuples lack the protocol: plain pickling."""
+        """The loop kernel broadcasts (orientation, index) tuples, which
+        lack the protocol: plain pickling, zero segments -- and still the
+        same fingerprint as the default (array) kernel."""
         with ProcessBackend(workers=2) as backend:
-            run = nucleus_decomposition(planted, 2, 3, backend=backend)
+            run = nucleus_decomposition(planted, 2, 3, backend=backend,
+                                        kernel="loop")
             assert backend.shm_segments() == 0
         assert fingerprint(run) == \
             fingerprint(nucleus_decomposition(planted, 2, 3))

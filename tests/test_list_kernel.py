@@ -1,0 +1,389 @@
+"""Differential suite: the array enumeration kernel vs the recursive oracle.
+
+The equivalence contract of :mod:`repro.cliques.list_kernel`: for any
+orientation and ``k``, the flat-array kernel emits exactly the cliques the
+recursive enumerator yields -- same rows, same order, same canonical
+vertex ordering within each row -- and charges byte-identical work/span to
+the meters. The contract is pinned on random G(n,p) and power-law graphs,
+the seeded fixture corpus, the golden stand-in datasets across the
+Figure 7 (r, s) grid (budget-guarded), and the degenerate cases (empty
+graphs, k=1, k larger than the largest clique).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import RS_PAIRS, random_graphs
+from repro.cliques.csr import member_degree_counts, member_id_array
+from repro.cliques.enumeration import (count_cliques, enumerate_cliques,
+                                       triangle_count)
+from repro.cliques.incidence import build_incidence
+from repro.cliques.index import CliqueIndex
+from repro.cliques.list_kernel import (ENUM_KERNEL_NAMES, clique_matrix,
+                                       clique_matrix_of_vertices,
+                                       clique_matrix_via, count_cliques_array,
+                                       intersect_sorted, use_array_kernel)
+from repro.core.nucleus import KERNEL_CHOICES, arb_nucleus, split_kernel
+from repro.errors import ParameterError
+from repro.graphs import Graph, powerlaw_cluster
+from repro.graphs.datasets import load_dataset
+from repro.graphs.orientation import CSROrientation, arb_orient
+from repro.parallel.backend import ProcessBackend, SerialBackend
+from repro.parallel.counters import WorkSpanCounter
+
+#: The Figure 7 grid, capped at s <= 5 to stay in test budget.
+FIG7_GRID = [(r, s) for s in range(2, 6) for r in range(1, s)]
+
+#: Golden stand-in datasets (small enough at reduced scale for CI).
+GOLDEN = (("amazon", 0.12), ("dblp", 0.12), ("youtube", 0.1))
+
+#: Skip dataset/(r,s) configurations whose extension-step estimate blows
+#: this budget (the benchmarks' predictive-timeout discipline).
+TEST_BUDGET = 300_000
+
+
+def estimated_steps(orientation, k: int) -> int:
+    from math import comb
+    return sum(comb(orientation.out_degree(v), max(k - 1, 0))
+               for v in range(orientation.graph.n))
+
+
+def assert_matrix_matches_oracle(orientation, k: int) -> np.ndarray:
+    """Matrix rows + order + meters == the recursive enumerator's."""
+    loop_counter = WorkSpanCounter()
+    oracle = list(enumerate_cliques(orientation, k, loop_counter))
+    array_counter = WorkSpanCounter()
+    matrix = clique_matrix(orientation, k, array_counter)
+    assert matrix.dtype == np.int64
+    assert matrix.shape == (len(oracle), k)
+    assert [tuple(row) for row in matrix.tolist()] == oracle
+    assert (array_counter.work, array_counter.span) == \
+        (loop_counter.work, loop_counter.span)
+    count_counter = WorkSpanCounter()
+    assert count_cliques_array(orientation, k, count_counter) == len(oracle)
+    assert (count_counter.work, count_counter.span) == \
+        (loop_counter.work, loop_counter.span)
+    return matrix
+
+
+class TestKernelFlag:
+    def test_names(self):
+        assert ENUM_KERNEL_NAMES == ("auto", "array", "loop")
+        assert KERNEL_CHOICES == ("auto", "array", "vectorized", "loop")
+
+    def test_use_array_kernel(self):
+        assert use_array_kernel("auto") and use_array_kernel("array")
+        assert not use_array_kernel("loop")
+        with pytest.raises(ParameterError):
+            use_array_kernel("vectorized")  # a peeling-only name
+
+    def test_split_kernel(self):
+        assert split_kernel("auto") == ("auto", "auto")
+        assert split_kernel("loop") == ("loop", "loop")
+        assert split_kernel("array") == ("array", "auto")
+        assert split_kernel("vectorized") == ("auto", "vectorized")
+        with pytest.raises(ParameterError):
+            split_kernel("simd")
+
+    def test_invalid_k(self):
+        orientation = arb_orient(Graph(3, [(0, 1)]))
+        with pytest.raises(ParameterError):
+            clique_matrix(orientation, 0)
+        with pytest.raises(ParameterError):
+            count_cliques_array(orientation, -1)
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        a = np.array([1, 3, 5, 9], dtype=np.int64)
+        b = np.array([0, 3, 4, 5, 10], dtype=np.int64)
+        assert intersect_sorted(a, b).tolist() == [3, 5]
+        assert intersect_sorted(b, a).tolist() == [3, 5]
+
+    def test_empty_and_disjoint(self):
+        empty = np.empty(0, dtype=np.int64)
+        a = np.array([2, 4], dtype=np.int64)
+        assert intersect_sorted(a, empty).size == 0
+        assert intersect_sorted(empty, a).size == 0
+        assert intersect_sorted(a, np.array([1, 3, 5],
+                                            dtype=np.int64)).size == 0
+
+    def test_out_of_range_probes(self):
+        # Elements beyond b's max must not alias b's last entry.
+        a = np.array([5, 7, 99], dtype=np.int64)
+        b = np.array([5, 7], dtype=np.int64)
+        assert intersect_sorted(a, b).tolist() == [5, 7]
+
+
+class TestCSROrientation:
+    def test_rows_are_ascending_rank_space(self):
+        for graph in random_graphs(count=2, n=24):
+            orientation = arb_orient(graph)
+            csr = orientation.csr()
+            assert csr is orientation.csr()  # cached
+            assert csr.n == graph.n
+            degrees = csr.out_degrees()
+            for p in range(csr.n):
+                row = csr.nbrs[csr.indptr[p]:csr.indptr[p + 1]]
+                assert degrees[p] == row.shape[0]
+                assert (np.diff(row) > 0).all()  # strictly ascending
+                assert (row > p).all()  # ranks above the row's own
+                v = int(csr.order[p])
+                assert csr.rank[v] == p
+                expected = [csr.rank[u] for u in orientation.out_neighbors(v)]
+                assert row.tolist() == expected
+
+    def test_shm_roundtrip(self):
+        graph = random_graphs(count=1, n=20)[0]
+        csr = arb_orient(graph).csr()
+        meta, arrays = csr.__shm_export__()
+        clone = CSROrientation.__shm_import__(meta, arrays)
+        assert clone.n == csr.n
+        for mine, theirs in zip(arrays, (clone.indptr, clone.nbrs,
+                                         clone.order, clone.rank)):
+            assert (mine == theirs).all()
+
+
+class TestDifferentialRandom:
+    @pytest.mark.parametrize("k", (1, 2, 3, 4, 5))
+    def test_gnp(self, k):
+        for graph in random_graphs(count=3, n=26):
+            assert_matrix_matches_oracle(arb_orient(graph), k)
+
+    @pytest.mark.parametrize("k", (2, 3, 4, 5, 6))
+    def test_powerlaw(self, k):
+        graph = powerlaw_cluster(70, 4, 0.7, seed=11)
+        assert_matrix_matches_oracle(arb_orient(graph), k)
+
+    def test_fixture_corpus(self, paper_like_graph, planted,
+                            two_triangles_bridge):
+        for graph in (paper_like_graph, planted, two_triangles_bridge):
+            for k in (1, 2, 3, 4):
+                assert_matrix_matches_oracle(arb_orient(graph), k)
+
+
+class TestDifferentialEdgeCases:
+    def test_empty_graph(self):
+        orientation = arb_orient(Graph(0, []))
+        for k in (1, 2, 3):
+            matrix = assert_matrix_matches_oracle(orientation, k)
+            assert matrix.shape == (0, k)
+
+    def test_edgeless_graph(self):
+        orientation = arb_orient(Graph(5, []))
+        matrix = assert_matrix_matches_oracle(orientation, 1)
+        assert matrix[:, 0].tolist() == [0, 1, 2, 3, 4]
+        assert assert_matrix_matches_oracle(orientation, 2).shape == (0, 2)
+
+    def test_k_exceeds_max_clique(self, planted):
+        # planted's largest clique is a K6: k=7 must be empty but still
+        # charge the oracle's traversal work.
+        matrix = assert_matrix_matches_oracle(arb_orient(planted), 7)
+        assert matrix.shape == (0, 7)
+
+    def test_single_vertex(self):
+        orientation = arb_orient(Graph(1, []))
+        assert assert_matrix_matches_oracle(orientation, 1).shape == (1, 1)
+
+
+class TestGoldenDatasetsGrid:
+    """The array kernel on the stand-in datasets, Figure 7 grid."""
+
+    @pytest.mark.parametrize("name,scale", GOLDEN)
+    def test_dataset_grid(self, name, scale):
+        graph = load_dataset(name, scale=scale)
+        orientation = arb_orient(graph)
+        checked = 0
+        for r, s in FIG7_GRID:
+            if estimated_steps(orientation, s) > TEST_BUDGET:
+                continue
+            assert_matrix_matches_oracle(orientation, r)
+            assert_matrix_matches_oracle(orientation, s)
+            checked += 1
+        assert checked, f"budget guard skipped every (r, s) on {name}"
+
+
+class TestChunkedAndBackends:
+    def test_chunk_concatenation(self, planted):
+        orientation = arb_orient(planted)
+        full = clique_matrix(orientation, 3)
+        n = planted.n
+        for size in (1, 3, 7, n):
+            parts = []
+            total_work = 0
+            for lo in range(0, n, size):
+                part, work = clique_matrix_of_vertices(
+                    orientation, range(lo, min(lo + size, n)), 3)
+                parts.append(part)
+                total_work += work
+            stitched = np.vstack([p for p in parts if p.size] or
+                                 [np.empty((0, 3), dtype=np.int64)])
+            assert (stitched == full).all()
+            counter = WorkSpanCounter()
+            clique_matrix(orientation, 3, counter)
+            # chunk work integers sum to the serial total charge
+            assert counter.work == max(total_work, 1)
+
+    @pytest.mark.parametrize("k", (1, 2, 3, 4))
+    def test_serial_backend_via(self, k):
+        graph = random_graphs(count=1, n=24)[0]
+        orientation = arb_orient(graph)
+        serial_counter = WorkSpanCounter()
+        expected = clique_matrix(orientation, k, serial_counter)
+        backend = SerialBackend()
+        via_counter = WorkSpanCounter()
+        got = clique_matrix_via(backend, orientation, k, via_counter,
+                                chunk_size=5)
+        assert (got == expected).all() and got.shape == expected.shape
+        assert (via_counter.work, via_counter.span) == \
+            (serial_counter.work, serial_counter.span)
+
+    def test_process_backend_via(self):
+        graph = random_graphs(count=1, n=24)[0]
+        orientation = arb_orient(graph)
+        with ProcessBackend(workers=2) as backend:
+            for k in (2, 3, 4):
+                serial_counter = WorkSpanCounter()
+                expected = clique_matrix(orientation, k, serial_counter)
+                via_counter = WorkSpanCounter()
+                got = clique_matrix_via(backend, orientation, k, via_counter,
+                                        chunk_size=7)
+                assert (got == expected).all()
+                assert (via_counter.work, via_counter.span) == \
+                    (serial_counter.work, serial_counter.span)
+
+
+class TestIndexFromMatrix:
+    def test_matches_streaming_constructor(self):
+        graph = random_graphs(count=1, n=26)[0]
+        orientation = arb_orient(graph)
+        for r in (1, 2, 3):
+            streaming = CliqueIndex(enumerate_cliques(orientation, r), r=r)
+            built = CliqueIndex.from_matrix(clique_matrix(orientation, r),
+                                            r=r)
+            assert list(built) == list(streaming)
+            assert built.r == streaming.r
+
+    def test_canonicalizes_and_dedupes(self):
+        matrix = np.array([[3, 1], [1, 3], [0, 2], [2, 0]], dtype=np.int64)
+        index = CliqueIndex.from_matrix(matrix, r=2)
+        assert list(index) == [(0, 2), (1, 3)]
+        assert index.ids_of(np.array([[3, 1], [0, 2]])).tolist() == [1, 0]
+
+    def test_empty_and_bad_shapes(self):
+        empty = CliqueIndex.from_matrix(np.empty((0, 2), dtype=np.int64), r=2)
+        assert len(empty) == 0 and empty.r == 2
+        with pytest.raises(ParameterError):
+            CliqueIndex.from_matrix(np.zeros((2, 3), dtype=np.int64), r=2)
+        with pytest.raises(ParameterError):
+            CliqueIndex.from_matrix(np.zeros((2, 2), dtype=np.int64), r=0)
+
+
+class TestMemberHelpers:
+    def test_member_degree_counts(self):
+        members = np.array([[0, 1, 2], [1, 2, 3]], dtype=np.int64)
+        assert member_degree_counts(members, 5) == [1, 2, 2, 1, 0]
+        assert member_degree_counts(np.empty((0, 3), dtype=np.int64),
+                                    3) == [0, 0, 0]
+
+    def test_member_id_array_accepts_matrix(self, planted):
+        orientation = arb_orient(planted)
+        index = CliqueIndex.from_orientation(orientation, 2)
+        matrix = clique_matrix(orientation, 3)
+        from_matrix = member_id_array(index, matrix, 3)
+        from_tuples = member_id_array(
+            index, [tuple(row) for row in matrix.tolist()], 3)
+        assert (from_matrix == from_tuples).all()
+
+
+class TestEndToEndEquivalence:
+    """kernels are invisible end to end: incidence, coreness, meters."""
+
+    @pytest.mark.parametrize("strategy", ("materialized", "reenum", "csr"))
+    def test_incidence_across_kernels(self, planted, strategy):
+        for r, s in ((1, 2), (2, 3), (2, 4), (3, 4)):
+            loop_counter = WorkSpanCounter()
+            _, loop_index, loop_inc = build_incidence(
+                planted, r, s, strategy=strategy, counter=loop_counter,
+                kernel="loop")
+            array_counter = WorkSpanCounter()
+            _, array_index, array_inc = build_incidence(
+                planted, r, s, strategy=strategy, counter=array_counter,
+                kernel="array")
+            assert list(array_index) == list(loop_index)
+            assert array_inc.n_r == loop_inc.n_r
+            assert array_inc.n_s == loop_inc.n_s
+            assert array_inc.initial_degrees() == loop_inc.initial_degrees()
+            assert list(array_inc.iter_s_cliques()) == \
+                list(loop_inc.iter_s_cliques())
+            assert (array_counter.work, array_counter.span) == \
+                (loop_counter.work, loop_counter.span), (strategy, r, s)
+
+    def test_csr_incidence_arrays_identical(self, planted):
+        _, _, loop_inc = build_incidence(planted, 2, 3, strategy="csr",
+                                         kernel="loop")
+        _, _, array_inc = build_incidence(planted, 2, 3, strategy="csr",
+                                          kernel="array")
+        assert (array_inc.member_array == loop_inc.member_array).all()
+        assert (array_inc.posting_indptr == loop_inc.posting_indptr).all()
+        assert (array_inc.posting_indices == loop_inc.posting_indices).all()
+        assert (array_inc.degree_array == loop_inc.degree_array).all()
+
+    @pytest.mark.parametrize("r,s", RS_PAIRS)
+    def test_coreness_across_kernels(self, paper_like_graph, r, s):
+        runs = {}
+        for kernel in KERNEL_CHOICES:
+            if kernel == "vectorized":
+                continue  # requires strategy="csr"; covered below
+            result = arb_nucleus(paper_like_graph, r, s, kernel=kernel)
+            runs[kernel] = (result.core, result.rho, result.k_max,
+                            result.work_span.work, result.work_span.span)
+        assert runs["auto"] == runs["array"] == runs["loop"]
+
+    def test_hierarchy_across_kernels(self, planted):
+        from repro.core.api import nucleus_decomposition
+        chains = {}
+        for kernel in KERNEL_CHOICES:
+            result = nucleus_decomposition(planted, 2, 3, strategy="csr",
+                                           kernel=kernel)
+            snap = result.coreness.work_span
+            chains[kernel] = (
+                result.coreness.core, result.coreness.rho,
+                snap.work, snap.span,
+                {level: sorted(sorted(g) for g in groups)
+                 for level, groups in
+                 result.tree.partition_chain().items()})
+        reference = chains["loop"]
+        for kernel, value in chains.items():
+            assert value == reference, kernel
+
+
+class TestCountingHelpers:
+    def test_count_cliques_kernels(self, planted):
+        orientation = arb_orient(planted)
+        for k in (1, 2, 3, 4, 7):
+            auto_counter = WorkSpanCounter()
+            loop_counter = WorkSpanCounter()
+            auto = count_cliques(orientation, k, auto_counter)
+            loop = count_cliques(orientation, k, loop_counter, kernel="loop")
+            assert auto == loop
+            assert (auto_counter.work, auto_counter.span) == \
+                (loop_counter.work, loop_counter.span)
+
+    def test_triangle_count_matches_undirected(self):
+        for graph in random_graphs(count=2, n=24):
+            undirected = sum(
+                len(graph.neighbor_set(u) & graph.neighbor_set(v))
+                for u, v in graph.edges()) // 3
+            assert triangle_count(graph) == undirected
+        assert triangle_count(Graph(0, [])) == 0
+        assert triangle_count(Graph(4, [(0, 1), (1, 2)])) == 0
+
+    def test_degeneracy_guard_vectorized(self, planted):
+        from repro.cliques.enumeration import clique_degeneracy_guard
+        clique_degeneracy_guard(arb_orient(planted), 3)  # well within
+        with pytest.raises(ParameterError):
+            clique_degeneracy_guard(arb_orient(planted), 3, limit=1)
+        clique_degeneracy_guard(arb_orient(Graph(0, [])), 3)  # empty ok
