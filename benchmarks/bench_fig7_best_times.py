@@ -10,10 +10,12 @@ the paper's omitted bars (its friendster and large-(r,s) cases).
 ``--json`` additionally writes ``BENCH_fig7.json`` at the repo root: the
 grid rows, a dict-vs-CSR peeling comparison (the flat-array layout +
 vectorized kernel against the Python dict/list path, same coreness
-asserted), and an array-vs-loop enumeration-kernel comparison split into
+asserted), an array-vs-loop enumeration-kernel comparison split into
 ``enumerate``/``build``/``peel``/``total`` stage rows (identical cliques,
-incidence, and coreness asserted) -- all in the uniform
-:func:`bench_common.bench_row` schema.
+incidence, and coreness asserted), and an array-vs-loop hierarchy
+construction comparison (``hierarchy`` stage rows; element-identical
+trees asserted) -- all in the uniform :func:`bench_common.bench_row`
+schema.
 """
 
 from __future__ import annotations
@@ -209,6 +211,54 @@ def run_stage_comparison(configs=PEEL_COMPARISON, repeats: int = 3):
     return rows
 
 
+def run_hierarchy_comparison(configs=PEEL_COMPARISON, repeats: int = 3):
+    """Array vs loop hierarchy (tree) construction, shared coreness.
+
+    For each configuration the CSR incidence is prepared and peeled once;
+    both tree kernels then rebuild the hierarchy from the same coreness,
+    best of ``repeats`` wall-clocks each. The trees are asserted
+    **element-identical** (same node ids, parents, levels,
+    representatives -- the ``hierarchy_kernel`` contract, stricter than
+    isomorphism) before any row is emitted. Rows use ``stage=
+    "hierarchy"``; array rows carry ``speedup`` = loop / array seconds.
+    """
+    from repro.core.hierarchy_te import hierarchy_te_practical
+    rows = []
+    for name, r, s in configs:
+        graph = bench_graph(name)
+        if not within_budget(graph, r, s):
+            rows.append(bench_row(name, r, s, None, stage="hierarchy"))
+            continue
+        prepared = prepare(graph, r, s, strategy="csr")
+        coreness = peel_exact(prepared.incidence)
+        timings = {}
+        for kernel in ("loop", "array"):
+            best = None
+            for _ in range(repeats):
+                run = timed(lambda: hierarchy_te_practical(
+                    graph, r, s, prepared=prepared, coreness=coreness,
+                    kernel=kernel))
+                if best is None or run.seconds < best.seconds:
+                    best = run
+            timings[kernel] = best
+        loop_tree = timings["loop"].payload.tree
+        array_tree = timings["array"].payload.tree
+        assert array_tree.parent == loop_tree.parent, (name, r, s)
+        assert array_tree.level == loop_tree.level, (name, r, s)
+        assert array_tree.rep == loop_tree.rep, (name, r, s)
+        loop_seconds = timings["loop"].seconds
+        for kernel in ("loop", "array"):
+            extra = {}
+            if kernel == "array":
+                extra["speedup"] = round(
+                    loop_seconds / timings[kernel].seconds, 2)
+            rows.append(bench_row(
+                name, r, s, timings[kernel].seconds, stage="hierarchy",
+                kernel=kernel, strategy="csr", backend="serial", workers=1,
+                **extra))
+    return rows
+
+
 def grid_json_rows(rows):
     """The Figure 7 grid in the uniform json row schema."""
     return [bench_row(name, r, s, seconds, stage="total",
@@ -243,6 +293,17 @@ def test_peel_comparison_rows():
     assert by_strategy["csr"]["rho"] == by_strategy["materialized"]["rho"]
 
 
+def test_hierarchy_comparison_rows():
+    rows = run_hierarchy_comparison(configs=(("dblp", 2, 3),), repeats=1)
+    finished = [row for row in rows if not row["skipped"]]
+    assert finished, "budget guard skipped the comparison"
+    kernels = {row["kernel"] for row in finished}
+    assert kernels == {"loop", "array"}
+    assert all(row["stage"] == "hierarchy" for row in finished)
+    assert all("speedup" in row for row in finished
+               if row["kernel"] == "array")
+
+
 def test_stage_comparison_rows():
     rows = run_stage_comparison(configs=(("dblp", 2, 3),), repeats=1)
     finished = [row for row in rows if not row["skipped"]]
@@ -265,15 +326,17 @@ def main(argv=None) -> int:
     if args.json:
         comparison = run_peel_comparison()
         stages = run_stage_comparison()
+        hierarchy = run_hierarchy_comparison()
         path = emit_json("fig7",
-                         grid_json_rows(rows) + comparison + stages)
+                         grid_json_rows(rows) + comparison + stages
+                         + hierarchy)
         print(f"\nwrote {path}")
         finished = [row for row in comparison
                     if not row["skipped"] and row["strategy"] == "csr"]
         for row in finished:
             print(f"  peel {row['graph']} ({row['r']},{row['s']}): "
                   f"csr {row['seconds']:.4f}s, {row['speedup']}x vs dict")
-        for row in stages:
+        for row in stages + hierarchy:
             if row["skipped"] or row.get("kernel") != "array":
                 continue
             print(f"  {row['stage']:<9} {row['graph']} "

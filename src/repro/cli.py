@@ -72,11 +72,13 @@ def _add_decomposition_arguments(parser: argparse.ArgumentParser) -> None:
                              "(dict/list), 'reenum' (space-lean), or 'csr' "
                              "(flat numpy arrays + vectorized peeling)")
     parser.add_argument("--kernel", default="auto", choices=KERNEL_CHOICES,
-                        help="compute kernel for enumeration + peeling: "
-                             "'auto' (array paths where applicable), "
-                             "'array' (force flat-array enumeration), "
-                             "'vectorized' (force array peeling; needs "
-                             "--strategy csr), or 'loop' (scalar oracle)")
+                        help="compute kernel for enumeration, peeling, and "
+                             "hierarchy construction: 'auto' (array paths "
+                             "where applicable), 'array' (force flat-array "
+                             "enumeration + hierarchy; the latter needs "
+                             "--strategy csr), 'vectorized' (force array "
+                             "peeling; needs --strategy csr), or 'loop' "
+                             "(scalar oracle)")
     parser.add_argument("--backend", default="serial",
                         choices=BACKEND_NAMES,
                         help="execution backend: 'serial' (instrumented "

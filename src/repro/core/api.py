@@ -102,12 +102,14 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
         with ``backend=None`` implies ``backend="process"``.
     kernel:
         Unified kernel selector
-        (:data:`~repro.core.nucleus.KERNEL_CHOICES`), driving both the
-        clique enumeration engine and the peeling engine: ``"auto"``
-        (array paths everywhere they apply), ``"array"`` (force the
-        flat-array enumeration kernel), ``"vectorized"`` (force the
+        (:data:`~repro.core.nucleus.KERNEL_CHOICES`), driving the clique
+        enumeration, peeling, and hierarchy construction engines:
+        ``"auto"`` (array paths everywhere they apply -- the tree stage
+        goes array-native whenever the CSR incidence ran), ``"array"``
+        (force the flat-array enumeration and hierarchy kernels; the
+        latter requires ``strategy="csr"``), ``"vectorized"`` (force the
         array peeling kernel; requires ``strategy="csr"``), or
-        ``"loop"`` (the scalar reference path for both stages). Results
+        ``"loop"`` (the scalar reference path for every stage). Results
         are identical for every kernel.
     """
     if method == "auto":
@@ -119,7 +121,7 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
     if approx and delta <= 0:
         raise ParameterError(f"delta must be > 0, got {delta}")
     counter = counter if counter is not None else WorkSpanCounter()
-    enum_kernel, peel_kernel = split_kernel(kernel)
+    enum_kernel, peel_kernel, _ = split_kernel(kernel)
     owns_backend = not isinstance(backend, ExecutionBackend)
     exec_backend = make_backend(backend, workers=workers)
 
@@ -144,7 +146,7 @@ def nucleus_decomposition(graph: Graph, r: int, s: int,
                 approx_delta=delta if approx else None)
         else:
             run = _run_hierarchy(graph, r, s, method, approx, delta, prepared,
-                                 counter, seed, exec_backend, peel_kernel)
+                                 counter, seed, exec_backend, kernel)
             result = NucleusDecomposition(
                 graph=graph, r=r, s=s, method=method,
                 index=prepared.index, coreness=run.coreness, tree=run.tree,
@@ -199,7 +201,7 @@ def _run_hierarchy(graph: Graph, r: int, s: int, method: str, approx: bool,
     # method == "naive"
     from ..baselines.naive_hierarchy import naive_hierarchy
     coreness = peel_exact(prepared.incidence, counter=counter,
-                          backend=backend, kernel=kernel)
+                          backend=backend, kernel=split_kernel(kernel)[1])
     tree = naive_hierarchy(prepared.incidence, coreness.core, counter=counter)
     return InterleavedResult(coreness, tree, dict(coreness.stats))
 

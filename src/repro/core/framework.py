@@ -74,7 +74,7 @@ def anh_el(graph: Graph, r: int, s: int,
            kernel: str = "auto") -> InterleavedResult:
     """ANH-EL: interleaved framework with ``LINK-EFFICIENT`` (Algorithm 5)."""
     counter = counter if counter is not None else WorkSpanCounter()
-    enum_kernel, peel_kernel = split_kernel(kernel)
+    enum_kernel, peel_kernel, _ = split_kernel(kernel)
     if prepared is None:
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
                            backend=backend, kernel=enum_kernel)
@@ -100,7 +100,7 @@ def anh_bl(graph: Graph, r: int, s: int,
     complaint about ANH-BL).
     """
     counter = counter if counter is not None else WorkSpanCounter()
-    enum_kernel, peel_kernel = split_kernel(kernel)
+    enum_kernel, peel_kernel, _ = split_kernel(kernel)
     if prepared is None:
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
                            backend=backend, kernel=enum_kernel)

@@ -1,0 +1,240 @@
+"""Array-native hierarchy construction -- the batched Algorithm 4 kernel.
+
+The Section 7.4 practical ANH-TE construction
+(:func:`repro.core.hierarchy_te.hierarchy_te_practical`) walks the peeled
+r-cliques in descending core order and, one Python ``unite`` at a time,
+connects each clique to its s-clique-adjacent neighbors of core at least
+its own -- then re-groups every active clique per level through a dict.
+This module runs the *identical* construction as a handful of whole-array
+passes per distinct core value:
+
+* every s-clique row of the CSR incidence is pre-sorted by member core
+  number; the chain of consecutive members carries exactly the level
+  connectivity the all-pairs unites produce (at level ``c`` the members
+  of core ``>= c`` are a prefix of the sorted row, and the chain connects
+  any prefix), shrinking the edge set from ``C(k, 2)`` to ``k - 1`` per
+  s-clique;
+* edges are bucketed by weight (the smaller endpoint core -- the level at
+  which the pair becomes active) with one argsort, giving the per-level
+  frontiers of Algorithm 4's rounds;
+* each level's frontier goes to
+  :class:`~repro.ds.flat_union_find.FlatUnionFind` as one batch
+  (hook-and-compress over the flat parent array), replacing the per-pair
+  ``unite`` loop;
+* new tree nodes are detected by counting distinct *current top nodes*
+  per component (one ``np.unique`` over ``(component, top)`` pairs): a
+  component with two or more tops becomes a new internal node, exactly
+  when :class:`~repro.core.tree.HierarchyTreeBuilder.merge` would have
+  created one.
+
+Equivalence contract (differentially tested in
+``tests/test_hierarchy_kernel.py``): for any CSR incidence and core
+array, :func:`build_tree_arrays` emits a tree whose ``parent`` /
+``level`` / ``rep`` arrays are **element-for-element identical** to the
+scalar path's -- same node ids in the same creation order, not merely the
+same partition chain -- and charges the same work/span meters and the
+same ``link_calls`` / ``unite_calls`` / ``effective_unites`` statistics.
+Artifacts written from either kernel therefore carry byte-identical
+hierarchy columns.
+
+Node-order argument: the scalar path iterates each level's groups in
+first-member order over the ``(descending core, ascending id)`` active
+sequence, appending one node per group whose current tops differ. The
+kernel sorts merged components by the first position of any member in
+that same sequence, so node ids coincide; representatives (``min`` over
+group members) and levels are order-independent.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ds.flat_union_find import FlatUnionFind
+from ..errors import ParameterError
+from ..parallel.counters import NullCounter, WorkSpanCounter, log2_ceil
+from .tree import NO_PARENT, HierarchyTree
+
+
+def supports_array_tree(incidence) -> bool:
+    """True when ``incidence`` carries the flat arrays the kernel needs."""
+    return getattr(incidence, "member_array", None) is not None
+
+
+def _chain_edges(member_array: np.ndarray, core: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-s-clique core-descending chains as ``(u, v, weight)`` arrays.
+
+    Each row's members are ordered by descending core (ties by id, for
+    determinism); consecutive pairs form the edges, weighted by the
+    lower core -- the level at which the pair first appears in a level
+    graph. Weight-zero edges carry no hierarchy information and are
+    dropped, like Algorithm 1's level filter.
+    """
+    n_s, k = member_array.shape
+    if n_s == 0 or k < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=np.float64)
+    row_core = core[member_array]
+    order = np.argsort(-row_core, axis=1, kind="stable")
+    ordered = np.take_along_axis(member_array, order, axis=1)
+    u = ordered[:, :-1].ravel()
+    v = ordered[:, 1:].ravel()
+    weight = core[v]
+    keep = weight > 0
+    return u[keep], v[keep], weight[keep]
+
+
+def _unite_call_histogram(member_array: np.ndarray, core: np.ndarray,
+                          levels_desc: np.ndarray) -> np.ndarray:
+    """Scalar-path ``unite`` calls per level, computed in closed form.
+
+    The scalar construction, while processing a fresh clique of core
+    ``c``, calls ``unite`` once per (s-clique containing it, member of
+    core ``>= c``) pair. Summed over an s-clique's member pairs that is
+    one call per pair with distinct positive cores (at the smaller core's
+    level) and two per pair with equal positive cores (each member is
+    fresh once). One pass per column pair of the member matrix.
+    """
+    counts = np.zeros(levels_desc.size, dtype=np.int64)
+    n_s, k = member_array.shape
+    if n_s == 0 or levels_desc.size == 0:
+        return counts
+    ascending = levels_desc[::-1]
+    for i, j in combinations(range(k), 2):
+        ca = core[member_array[:, i]]
+        cb = core[member_array[:, j]]
+        lo = np.minimum(ca, cb)
+        positive = lo > 0
+        if not positive.any():
+            continue
+        calls = np.where(ca[positive] == cb[positive], 2, 1)
+        slot = np.searchsorted(ascending, lo[positive])
+        counts += np.bincount(slot, weights=calls,
+                              minlength=ascending.size).astype(np.int64)
+    return counts[::-1].copy()
+
+
+def build_tree_arrays(incidence, core: Sequence[float],
+                      counter: Optional[WorkSpanCounter] = None,
+                      ) -> Tuple[HierarchyTree, Dict[str, float]]:
+    """Level-batched hierarchy construction over flat arrays.
+
+    ``incidence`` must expose a ``member_array`` (the CSR layout --
+    :class:`~repro.cliques.csr.CSRIncidence`); ``core`` is the final core
+    number of every r-clique. Returns ``(tree, stats)`` where both are
+    identical to what the scalar ANH-TE construction produces (see the
+    module docstring for the contract).
+    """
+    if not supports_array_tree(incidence):
+        raise ParameterError(
+            "the array hierarchy kernel requires a CSR incidence "
+            "(build_incidence(strategy='csr'))")
+    counter = counter if counter is not None else NullCounter()
+    core_arr = np.asarray(core, dtype=np.float64)
+    n_r = core_arr.shape[0]
+    n_log = log2_ceil(max(n_r, 1))
+
+    # The scalar path's parallel sort of the r-cliques by core number
+    # (Section 7.4); the kernel charges the same meter for its argsort.
+    counter.add_parallel(n_r * max(n_log, 1), max(1, n_log * n_log))
+    positives = np.flatnonzero(core_arr > 0)
+    active_order = positives[np.argsort(-core_arr[positives],
+                                        kind="stable")]
+    active_cores = core_arr[active_order]
+    if active_order.size:
+        boundary = np.flatnonzero(np.diff(active_cores)) + 1
+        level_starts = np.concatenate(([0], boundary))
+        level_ends = np.concatenate((boundary, [active_order.size]))
+        levels_desc = active_cores[level_starts]
+    else:
+        level_starts = level_ends = np.empty(0, dtype=np.int64)
+        levels_desc = np.empty(0, dtype=np.float64)
+
+    u, v, weight = _chain_edges(incidence.member_array, core_arr)
+    edge_order = np.argsort(-weight, kind="stable")
+    u = u[edge_order]
+    v = v[edge_order]
+    weight = weight[edge_order]
+    # First edge index per level: edges are weight-descending, levels too.
+    edge_starts = np.searchsorted(-weight, -levels_desc, side="left")
+    edge_ends = np.searchsorted(-weight, -levels_desc, side="right")
+
+    calls_per_level = _unite_call_histogram(incidence.member_array,
+                                            core_arr, levels_desc)
+
+    uf = FlatUnionFind(n_r)
+    max_nodes = n_r + max(n_r - 1, 0)
+    parent = np.full(max_nodes, NO_PARENT, dtype=np.int64)
+    level_out = np.empty(max_nodes, dtype=np.float64)
+    level_out[:n_r] = core_arr
+    rep = np.empty(max_nodes, dtype=np.int64)
+    rep[:n_r] = np.arange(n_r, dtype=np.int64)
+    top = np.arange(n_r, dtype=np.int64)   # current top node per leaf
+    node_of_root = np.full(n_r, -1, dtype=np.int64)
+    rep_floor = np.full(n_r, n_r, dtype=np.int64)  # min-member scratch
+    pair_base = np.int64(max(2 * n_r, 1))  # encodes (root, top) pairs
+
+    next_node = n_r
+    unite_calls = 0
+    for li in range(levels_desc.size):
+        level = float(levels_desc[li])
+        n_active = int(level_ends[li])
+        unite_calls += int(calls_per_level[li])
+        lo_e, hi_e = int(edge_starts[li]), int(edge_ends[li])
+        if hi_e > lo_e:
+            uf.unite_batch(u[lo_e:hi_e], v[lo_e:hi_e])
+        # The scalar path's two per-level rounds: the fresh/link loop
+        # (its unite counter is cumulative at charge time) and the
+        # active-set re-grouping. Fresh is never empty for a level, so
+        # both rounds are always charged.
+        fresh = n_active - int(level_starts[li])
+        counter.add_parallel(fresh + unite_calls + 1, 1 + n_log)
+        counter.add_parallel(n_active + 1, 1 + n_log)
+        if hi_e == lo_e:
+            continue  # no new adjacency => no component gained a top
+        active = active_order[:n_active]
+        roots = uf.find_many(active)
+        tops = top[active]
+        uroots, first_pos = np.unique(roots, return_index=True)
+        pair_codes = np.unique(roots * pair_base + tops)
+        pair_roots = pair_codes // pair_base
+        pair_tops = pair_codes - pair_roots * pair_base
+        top_counts = (np.searchsorted(pair_roots, uroots, side="right")
+                      - np.searchsorted(pair_roots, uroots, side="left"))
+        merged = top_counts >= 2
+        if not merged.any():
+            continue
+        merged_roots = uroots[merged]
+        creation_rank = np.argsort(first_pos[merged], kind="stable")
+        merged_roots = merged_roots[creation_rank]
+        n_new = merged_roots.size
+        node_ids = next_node + np.arange(n_new, dtype=np.int64)
+        node_of_root[merged_roots] = node_ids
+        # Attach every distinct top of a merged component to its node.
+        pair_sel = node_of_root[pair_roots] >= 0
+        parent[pair_tops[pair_sel]] = node_of_root[pair_roots[pair_sel]]
+        # Representatives (min member id) + top updates, members only.
+        member_sel = node_of_root[roots] >= 0
+        sel_roots = roots[member_sel]
+        sel_ids = active[member_sel]
+        np.minimum.at(rep_floor, sel_roots, sel_ids)
+        rep[node_ids] = rep_floor[merged_roots]
+        level_out[node_ids] = level
+        top[sel_ids] = node_of_root[sel_roots]
+        rep_floor[merged_roots] = n_r
+        node_of_root[merged_roots] = -1
+        next_node += n_new
+
+    tree = HierarchyTree(n_r, parent[:next_node].tolist(),
+                         level_out[:next_node].tolist(),
+                         rep[:next_node].tolist())
+    stats: Dict[str, float] = {
+        "link_calls": float(unite_calls),
+        "unite_calls": float(unite_calls),
+        "effective_unites": float(n_r - uf.n_components()),
+        "memory_units": float(3 * n_r),
+    }
+    return tree, stats

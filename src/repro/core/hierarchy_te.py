@@ -40,7 +40,9 @@ from ..graphs.connectivity import connected_components_edges
 from ..graphs.graph import Graph
 from ..parallel.counters import WorkSpanCounter, log2_ceil
 from ..parallel.primitives import par_sort
+from ..errors import ParameterError
 from .framework import InterleavedResult
+from .hierarchy_kernel import build_tree_arrays, supports_array_tree
 from .nucleus import (CorenessResult, NucleusInput, peel_exact, prepare,
                       split_kernel)
 from .tree import HierarchyTree, HierarchyTreeBuilder
@@ -290,9 +292,16 @@ def hierarchy_te_practical(graph: Graph, r: int, s: int,
     s-clique-adjacent neighbors of core ``>= c``, and the union-find's
     components among active cliques are this level's nuclei. The same
     union-find carries over to lower levels.
+
+    The tree half of the unified ``kernel`` flag dispatches here: on
+    ``"auto"`` the construction runs through the array-native
+    :func:`~repro.core.hierarchy_kernel.build_tree_arrays` whenever the
+    incidence is CSR (``"array"`` forces it, ``"loop"`` forces the
+    scalar path below). Both paths emit element-identical trees, stats,
+    and meters.
     """
     counter = counter if counter is not None else WorkSpanCounter()
-    enum_kernel, peel_kernel = split_kernel(kernel)
+    enum_kernel, peel_kernel, tree_kernel = split_kernel(kernel)
     if prepared is None:
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
                            backend=backend, kernel=enum_kernel)
@@ -304,6 +313,22 @@ def hierarchy_te_practical(graph: Graph, r: int, s: int,
     t1 = time.perf_counter()
     n_r = prepared.n_r
     incidence = prepared.incidence
+    if tree_kernel == "array" and not supports_array_tree(incidence):
+        raise ParameterError(
+            "kernel='array' hierarchy construction requires "
+            "strategy='csr' (flat member arrays)")
+    if tree_kernel == "array" or (tree_kernel == "auto"
+                                  and supports_array_tree(incidence)):
+        tree, kernel_stats = build_tree_arrays(incidence, core,
+                                               counter=counter)
+        t2 = time.perf_counter()
+        stats = dict(coreness.stats)
+        stats.update(kernel_stats)
+        stats.update({
+            "seconds_coreness": t1 - t0,
+            "seconds_tree": t2 - t1,
+        })
+        return InterleavedResult(coreness, tree, stats)
     # "We perform a parallel sort on the r-cliques based on their core
     # numbers" -- the small extra memory the paper attributes to ANH-TE.
     order = par_sort(range(n_r), counter, key=lambda x: core[x], reverse=True)

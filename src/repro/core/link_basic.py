@@ -6,7 +6,10 @@ core number. Simple, correct, and deliberately wasteful -- up to ``k``
 unite operations per pair and ``O(k * n_r)`` extra space -- which is why
 the paper's Figure 6 shows ANH-BL trailing (and frequently running out of
 memory). It is retained both as the paper's baseline and as a strong
-differential-testing partner for the efficient version.
+differential-testing partner for the efficient version and for the
+array-native hierarchy kernel (:mod:`repro.core.hierarchy_kernel`),
+whose level-batched merges must reproduce the same partition chain this
+builder derives one unite at a time.
 
 Levels: for exact decompositions the union-finds span every integer level
 ``1..k`` exactly as the pseudocode says; for approximate decompositions

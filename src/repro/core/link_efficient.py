@@ -22,6 +22,12 @@ verbatim, and the cascading recursive calls become an explicit work stack
 
 Extra space is exactly ``2 * n_r`` integers (``uf`` parents + ``L``), the
 figure the paper quotes against NH's ``comb(s,r)*n_s + n_r``.
+
+Alongside its baseline role, this builder serves as a differential
+oracle for the array-native hierarchy kernel
+(:mod:`repro.core.hierarchy_kernel`): the randomized suite in
+``tests/test_hierarchy_kernel.py`` pins every kernel route to the same
+canonical tree this interleaved construction produces.
 """
 
 from __future__ import annotations

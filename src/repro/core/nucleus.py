@@ -84,20 +84,23 @@ KERNEL_NAMES = ("auto", "vectorized", "loop")
 
 #: Unified kernel selectors accepted by the end-to-end entry points
 #: (:func:`arb_nucleus`, ``core.api``, the CLI ``--kernel`` flag). The
-#: flag drives two engines at once -- the enumeration kernel
-#: (:mod:`repro.cliques.list_kernel`) and the peeling kernel
-#: (:mod:`repro.core.peel_csr`); :func:`split_kernel` maps one user
-#: choice to the (enumeration, peeling) pair.
+#: flag drives three engines at once -- the enumeration kernel
+#: (:mod:`repro.cliques.list_kernel`), the peeling kernel
+#: (:mod:`repro.core.peel_csr`), and the hierarchy construction kernel
+#: (:mod:`repro.core.hierarchy_kernel`); :func:`split_kernel` maps one
+#: user choice to the (enumeration, peeling, tree) triple.
 KERNEL_CHOICES = ("auto", "array", "vectorized", "loop")
 
 
-def split_kernel(kernel: str) -> Tuple[str, str]:
-    """Split a unified kernel choice into ``(enum_kernel, peel_kernel)``.
+def split_kernel(kernel: str) -> Tuple[str, str, str]:
+    """Split a unified choice into ``(enum_kernel, peel_kernel, tree_kernel)``.
 
-    ``"auto"`` lets both stages pick their array paths; ``"loop"`` forces
-    the scalar oracle in both. The stage-specific names pin one stage and
-    leave the other on ``"auto"``: ``"array"`` forces the flat-array
-    enumeration engine, ``"vectorized"`` forces the array peeling kernel
+    ``"auto"`` lets every stage pick its array path (the tree stage goes
+    array-native whenever the CSR incidence ran); ``"loop"`` forces the
+    scalar oracle everywhere. The stage-specific names pin their stages
+    and leave the rest on ``"auto"``: ``"array"`` forces the flat-array
+    engines (enumeration + hierarchy construction; the latter requires a
+    CSR incidence), ``"vectorized"`` forces the array peeling kernel
     (which requires a CSR incidence, as before). Every combination
     produces identical cliques, coreness, hierarchies, and meters.
     """
@@ -105,10 +108,10 @@ def split_kernel(kernel: str) -> Tuple[str, str]:
         raise ParameterError(
             f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}")
     if kernel == "array":
-        return "array", "auto"
+        return "array", "auto", "array"
     if kernel == "vectorized":
-        return "auto", "vectorized"
-    return kernel, kernel
+        return "auto", "vectorized", "auto"
+    return kernel, kernel, kernel
 
 
 def peel_exact(incidence, counter: Optional[WorkSpanCounter] = None,
@@ -302,7 +305,7 @@ def arb_nucleus(graph: Graph, r: int, s: int,
     and peeling stages.
     """
     counter = counter if counter is not None else WorkSpanCounter()
-    enum_kernel, peel_kernel = split_kernel(kernel)
+    enum_kernel, peel_kernel, _ = split_kernel(kernel)
     if prepared is None:
         prepared = prepare(graph, r, s, strategy=strategy, counter=counter,
                            backend=backend, chunk_size=chunk_size,

@@ -198,6 +198,46 @@ class HierarchyTree:
         return {c: frozenset(frozenset(nucleus) for nucleus in self.nuclei_at(c))
                 for c in self.distinct_levels()}
 
+    def canonical_form(self) -> Dict[str, object]:
+        """Node-id-insensitive, JSON-ready serialization of the forest.
+
+        Internal nodes are relabeled in the canonical order ``(level
+        descending, minimum leaf id under the node ascending)`` -- a
+        strict total order, because same-level nuclei are disjoint
+        components and internal levels strictly decrease along chains.
+        Two trees produce equal canonical forms iff they are identical up
+        to internal-node id permutation (unlike
+        :meth:`partition_chain`, single-child chains are preserved).
+        This is the hierarchy schema stored in golden snapshots.
+        """
+        n = self.n_nodes
+        min_under: List[int] = list(range(self.n_leaves)) + \
+            [self.n_leaves] * self.n_internal
+        # Internal children have strictly higher levels and a leaf's
+        # parent never exceeds the leaf's level, so sweeping by
+        # descending level (leaves first on ties) propagates subtree
+        # minima in one pass.
+        for node in sorted(range(n),
+                           key=lambda x: (-self.level[x],
+                                          0 if x < self.n_leaves else 1)):
+            par = self.parent[node]
+            if par != NO_PARENT:
+                min_under[par] = min(min_under[par], min_under[node])
+        order = sorted(range(self.n_leaves, n),
+                       key=lambda x: (-self.level[x], min_under[x]))
+        pos = {node: i for i, node in enumerate(order)}
+
+        def canon_parent(node: int) -> int:
+            par = self.parent[node]
+            return -1 if par == NO_PARENT else pos[par]
+
+        return {
+            "leaf_level": [float(lv) for lv in self.level[:self.n_leaves]],
+            "leaf_parent": [canon_parent(x) for x in range(self.n_leaves)],
+            "internal": [[float(self.level[x]), canon_parent(x),
+                          int(min_under[x])] for x in order],
+        }
+
     def __repr__(self) -> str:
         return (f"HierarchyTree(leaves={self.n_leaves}, "
                 f"internal={self.n_internal}, roots={len(self._roots)})")

@@ -1,6 +1,7 @@
 """Data-structure substrates used by the nucleus decomposition algorithms.
 
 * :mod:`repro.ds.union_find` -- concurrent (Jayanti-Tarjan) and sequential DSU.
+* :mod:`repro.ds.flat_union_find` -- batched min-label DSU over flat arrays.
 * :mod:`repro.ds.bucketing` -- Julienne-style exact bucketing for peeling.
 * :mod:`repro.ds.approx_bucketing` -- geometric range buckets (Algorithm 2).
 * :mod:`repro.ds.linked_list` -- O(1)-concat linked lists (Algorithm 1).
@@ -9,6 +10,7 @@
 from .approx_bucketing import (GeometricBucketQueue, bucket_of_degree,
                                bucket_upper_bound, default_round_cap)
 from .bucketing import BucketQueue
+from .flat_union_find import FlatUnionFind
 from .heap_bucketing import HeapBucketQueue
 from .linked_list import CatList
 from .union_find import (ConcurrentUnionFind, SequentialUnionFind,
@@ -16,7 +18,7 @@ from .union_find import (ConcurrentUnionFind, SequentialUnionFind,
 
 __all__ = [
     "GeometricBucketQueue", "bucket_of_degree", "bucket_upper_bound",
-    "default_round_cap", "BucketQueue", "HeapBucketQueue", "CatList",
-    "ConcurrentUnionFind",
+    "default_round_cap", "BucketQueue", "FlatUnionFind", "HeapBucketQueue",
+    "CatList", "ConcurrentUnionFind",
     "SequentialUnionFind", "UnionFindStats", "partition_refines",
 ]

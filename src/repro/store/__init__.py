@@ -11,8 +11,8 @@ pages across processes.
     from repro.store import write_artifact, load_artifact
 
     result = nucleus_decomposition(graph, 2, 3)
-    write_artifact(result, "graph-2-3.nda")
-    art = load_artifact("graph-2-3.nda")     # zero-copy, instant
+    write_artifact(result, "results/graph-2-3.nda")
+    art = load_artifact("results/graph-2-3.nda")     # zero-copy, instant
     art.community([0, 5])                    # same answers as the
     art.top_k_densest(10)                    # in-memory query index
 

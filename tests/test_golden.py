@@ -119,10 +119,12 @@ def _golden_path(name: str, scale: float, r: int, s: int) -> str:
 def decomposition_snapshot(result) -> dict:
     """JSON-stable snapshot of a full decomposition.
 
-    Covers the coreness array verbatim plus the hierarchy's partition
-    chain (the level-by-level nucleus partitions), so any behavioural
-    drift -- peeling order, bucket handling, tree construction -- shows
-    up as a named diff.
+    Covers the coreness array verbatim, the hierarchy's partition chain
+    (the level-by-level nucleus partitions), and the canonically
+    relabeled tree itself (``HierarchyTree.canonical_form`` -- parents,
+    levels, and single-child chains included), so any behavioural drift
+    -- peeling order, bucket handling, tree construction -- shows up as
+    a named diff.
     """
     chain = result.tree.partition_chain()
     return {
@@ -138,6 +140,7 @@ def decomposition_snapshot(result) -> dict:
             f"{level:g}": sorted(sorted(int(rid) for rid in group)
                                  for group in groups)
             for level, groups in chain.items()},
+        "tree": result.tree.canonical_form(),
     }
 
 

@@ -1,0 +1,278 @@
+"""Randomized differential tests for the array hierarchy kernel.
+
+The contract under test (see ``repro.core.hierarchy_kernel``): the
+level-batched flat-array construction emits a tree **element-identical**
+to the scalar ANH-TE path -- same node ids, parents, levels,
+representatives -- with the same stats and work/span meters, and both
+agree with the definition-level oracle ``repro.baselines.naive_hierarchy``
+up to canonical relabeling. The suite sweeps seeded G(n, p) and
+power-law graphs over the Fig. 7 ``(r, s)`` grid, crossed with
+``kernel x strategy x backend``, plus unit tests for
+:class:`repro.ds.flat_union_find.FlatUnionFind` and the artifact
+byte-match guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from conftest import RS_PAIRS
+from repro.baselines.naive_hierarchy import naive_hierarchy
+from repro.core.api import nucleus_decomposition
+from repro.core.hierarchy_kernel import build_tree_arrays, supports_array_tree
+from repro.core.hierarchy_te import hierarchy_te_practical
+from repro.core.nucleus import peel_exact, prepare
+from repro.ds.flat_union_find import FlatUnionFind
+from repro.ds.union_find import SequentialUnionFind
+from repro.errors import DataStructureError, ParameterError
+from repro.graphs import Graph, erdos_renyi, powerlaw_cluster
+from repro.parallel.backend import ProcessBackend
+from repro.parallel.counters import WorkSpanCounter
+from repro.store.format import read_header
+
+#: The (r, s) pairs of the five Fig. 7 configurations.
+FIG7_GRID = ((2, 3), (2, 4), (3, 4))
+
+#: Stats keys both tree constructions must agree on exactly.
+TREE_STAT_KEYS = ("link_calls", "unite_calls", "effective_unites",
+                  "memory_units")
+
+
+def exact_triple(tree):
+    """The element-identity witness: raw parent/level/rep lists."""
+    return (tree.parent, tree.level, tree.rep)
+
+
+def chain_of(tree):
+    """Canonical partition chain as nested sorted lists."""
+    return {level: sorted(sorted(group) for group in groups)
+            for level, groups in tree.partition_chain().items()}
+
+
+def loop_and_array(graph, r, s):
+    """One prepared CSR run of both tree kernels over shared coreness."""
+    prep = prepare(graph, r, s, strategy="csr")
+    coreness = peel_exact(prep.incidence)
+    c_loop, c_arr = WorkSpanCounter(), WorkSpanCounter()
+    loop = hierarchy_te_practical(graph, r, s, prepared=prep,
+                                  coreness=coreness, counter=c_loop,
+                                  kernel="loop")
+    arr = hierarchy_te_practical(graph, r, s, prepared=prep,
+                                 coreness=coreness, counter=c_arr,
+                                 kernel="array")
+    return prep, coreness, loop, arr, c_loop, c_arr
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """A shared 2-worker process pool (instance => API does not close it)."""
+    with ProcessBackend(workers=2) as backend:
+        yield backend
+
+
+class TestFlatUnionFind:
+    """Unit tests for the batched min-label union-find."""
+
+    def test_matches_sequential_on_random_batches(self):
+        rng = random.Random(13)
+        for trial in range(25):
+            n = rng.randint(1, 60)
+            flat = FlatUnionFind(n)
+            seq = SequentialUnionFind(n)
+            for _ in range(rng.randint(1, 5)):
+                m = rng.randint(0, 2 * n)
+                u = np.array([rng.randrange(n) for _ in range(m)],
+                             dtype=np.int64)
+                v = np.array([rng.randrange(n) for _ in range(m)],
+                             dtype=np.int64)
+                gained = flat.unite_batch(u, v)
+                before = sum(1 for x in range(n) if seq.find(x) == x)
+                for a, b in zip(u.tolist(), v.tolist()):
+                    seq.unite(a, b)
+                after = sum(1 for x in range(n) if seq.find(x) == x)
+                assert gained == before - after
+                # Same partition, and every root is its component minimum.
+                for x in range(n):
+                    assert flat.find(x) == min(
+                        y for y in range(n) if seq.find(y) == seq.find(x))
+
+    def test_min_label_invariant_allows_vectorized_find(self):
+        uf = FlatUnionFind(8)
+        uf.unite_batch(np.array([7, 5, 3], dtype=np.int64),
+                       np.array([5, 3, 1], dtype=np.int64))
+        assert uf.find_many(np.arange(8)).tolist() == \
+            uf.parent.tolist()
+        assert uf.find(7) == 1
+        assert uf.n_components() == 5
+        assert uf.components()[1] == [1, 3, 5, 7]
+
+    def test_empty_and_errors(self):
+        uf = FlatUnionFind(4)
+        empty = np.empty(0, dtype=np.int64)
+        assert uf.unite_batch(empty, empty) == 0
+        assert uf.n_components() == 4
+        with pytest.raises(DataStructureError):
+            uf.unite_batch(np.array([0]), np.array([1, 2]))
+        with pytest.raises(DataStructureError):
+            uf.find(4)
+        with pytest.raises(DataStructureError):
+            FlatUnionFind(-1)
+
+    def test_self_loops_and_duplicates(self):
+        uf = FlatUnionFind(5)
+        u = np.array([0, 1, 1, 2, 2], dtype=np.int64)
+        v = np.array([0, 2, 2, 1, 3], dtype=np.int64)
+        assert uf.unite_batch(u, v) == 2
+        assert uf.same_set(1, 3)
+        assert not uf.same_set(0, 4)
+
+
+class TestKernelNodeIdentity:
+    """kernel=array is element-identical to kernel=loop, meters included."""
+
+    @pytest.mark.parametrize("r,s", RS_PAIRS)
+    def test_fixtures_all_rs(self, paper_like_graph, planted,
+                             two_triangles_bridge, r, s):
+        for graph in (paper_like_graph, planted, two_triangles_bridge):
+            _, _, loop, arr, c_loop, c_arr = loop_and_array(graph, r, s)
+            assert exact_triple(arr.tree) == exact_triple(loop.tree), \
+                (graph.name, r, s)
+            for key in TREE_STAT_KEYS:
+                assert arr.stats[key] == loop.stats[key], (graph.name, key)
+            assert (c_arr.work, c_arr.span) == (c_loop.work, c_loop.span), \
+                (graph.name, r, s)
+
+    def test_canonical_form_matches_too(self, planted):
+        _, _, loop, arr, _, _ = loop_and_array(planted, 2, 3)
+        assert arr.tree.canonical_form() == loop.tree.canonical_form()
+
+
+class TestRandomizedDifferential:
+    """The >= 200 seeded random graph sweep against both oracles."""
+
+    def _check_graph(self, graph, r, s):
+        prep, coreness, loop, arr, c_loop, c_arr = loop_and_array(graph, r, s)
+        # Element-identical tree vs the scalar path...
+        assert exact_triple(arr.tree) == exact_triple(loop.tree), \
+            (graph.name, r, s)
+        for key in TREE_STAT_KEYS:
+            assert arr.stats[key] == loop.stats[key], (graph.name, r, s, key)
+        assert (c_arr.work, c_arr.span) == (c_loop.work, c_loop.span)
+        # ...definitional agreement with the naive oracle (ND[R] is the
+        # leaf level vector; the chain is the nucleus-set witness)...
+        oracle = naive_hierarchy(prep.incidence, coreness.core)
+        assert arr.tree.core_numbers() == oracle.core_numbers()
+        assert chain_of(arr.tree) == chain_of(oracle), (graph.name, r, s)
+        # ...and the leaves partition the r-clique set.
+        seen = sorted(leaf for root in arr.tree.roots()
+                      for leaf in arr.tree.leaves_under(root))
+        assert seen == list(range(prep.n_r))
+
+    def test_gnp_sweep(self):
+        rng = random.Random(2024)
+        for trial in range(120):
+            n = rng.randint(10, 30)
+            p = rng.uniform(0.15, 0.45)
+            graph = erdos_renyi(n, p, seed=rng.randint(0, 10**6))
+            r, s = FIG7_GRID[trial % len(FIG7_GRID)]
+            self._check_graph(graph, r, s)
+
+    def test_powerlaw_sweep(self):
+        rng = random.Random(777)
+        for trial in range(80):
+            n = rng.randint(16, 40)
+            m_attach = rng.randint(2, 3)
+            graph = powerlaw_cluster(n, m_attach, rng.uniform(0.2, 0.7),
+                                     seed=rng.randint(0, 10**6))
+            r, s = FIG7_GRID[trial % len(FIG7_GRID)]
+            self._check_graph(graph, r, s)
+
+
+class TestKernelStrategyBackendMatrix:
+    """kernel x strategy x backend: one decomposition, every route."""
+
+    KERNELS = ("auto", "array", "vectorized", "loop")
+    STRATEGIES = ("csr", "materialized")
+
+    @pytest.mark.parametrize("r,s", FIG7_GRID)
+    def test_matrix(self, paper_like_graph, planted, pool, r, s):
+        for graph in (paper_like_graph, planted):
+            reference = None
+            for strategy in self.STRATEGIES:
+                for kern in self.KERNELS:
+                    if strategy != "csr" and kern in ("array", "vectorized"):
+                        continue  # both force CSR-only engines
+                    for backend in (None, pool):
+                        got = nucleus_decomposition(
+                            graph, r, s, strategy=strategy, method="anh-te",
+                            kernel=kern, backend=backend)
+                        snap = (got.coreness.core, chain_of(got.tree),
+                                got.tree.canonical_form())
+                        if reference is None:
+                            reference = snap
+                        assert snap == reference, \
+                            (graph.name, r, s, strategy, kern,
+                             "process" if backend else "serial")
+
+    def test_array_tree_requires_csr(self, planted):
+        with pytest.raises(ParameterError):
+            nucleus_decomposition(planted, 2, 3, strategy="materialized",
+                                  method="anh-te", kernel="array")
+
+    def test_auto_on_materialized_falls_back(self, planted):
+        loop = nucleus_decomposition(planted, 2, 3, strategy="materialized",
+                                     method="anh-te", kernel="loop")
+        auto = nucleus_decomposition(planted, 2, 3, strategy="materialized",
+                                     method="anh-te", kernel="auto")
+        assert exact_triple(auto.tree) == exact_triple(loop.tree)
+
+
+class TestEdgeCases:
+    def test_rejects_non_csr_incidence(self, planted):
+        prep = prepare(planted, 2, 3, strategy="materialized")
+        assert not supports_array_tree(prep.incidence)
+        with pytest.raises(ParameterError):
+            build_tree_arrays(prep.incidence, [0.0] * prep.n_r)
+
+    def test_no_s_cliques(self):
+        graph = Graph(4, [(0, 1), (2, 3)], name="no-triangles")
+        prep = prepare(graph, 2, 3, strategy="csr")
+        coreness = peel_exact(prep.incidence)
+        tree, stats = build_tree_arrays(prep.incidence, coreness.core)
+        assert tree.n_leaves == prep.n_r
+        assert tree.n_internal == 0
+        assert stats["unite_calls"] == 0
+
+    def test_empty_graph(self):
+        graph = Graph(0, [], name="empty")
+        prep = prepare(graph, 1, 2, strategy="csr")
+        tree, _ = build_tree_arrays(prep.incidence, [])
+        assert tree.n_nodes == 0
+
+    def test_single_clique(self):
+        graph = Graph(4, [(a, b) for a in range(4)
+                          for b in range(a + 1, 4)], name="k4")
+        _, _, loop, arr, _, _ = loop_and_array(graph, 2, 3)
+        assert exact_triple(arr.tree) == exact_triple(loop.tree)
+        assert arr.tree.n_internal == 1
+
+
+class TestArtifactByteMatch:
+    """Artifacts built via the array kernel byte-match the loop kernel's."""
+
+    def test_payloads_identical(self, planted, tmp_path):
+        from repro.core.api import decompose_to_artifact
+        payloads = {}
+        for kern in ("array", "loop"):
+            path = os.fspath(tmp_path / f"planted-{kern}.nda")
+            decompose_to_artifact(planted, 2, 3, path, strategy="csr",
+                                  method="anh-te", kernel=kern)
+            payload_start, meta = read_header(path)
+            with open(path, "rb") as handle:
+                handle.seek(payload_start)
+                payloads[kern] = (meta["payload_crc32"], handle.read())
+        assert payloads["array"] == payloads["loop"]

@@ -80,10 +80,10 @@ class TestKernelFlag:
             use_array_kernel("vectorized")  # a peeling-only name
 
     def test_split_kernel(self):
-        assert split_kernel("auto") == ("auto", "auto")
-        assert split_kernel("loop") == ("loop", "loop")
-        assert split_kernel("array") == ("array", "auto")
-        assert split_kernel("vectorized") == ("auto", "vectorized")
+        assert split_kernel("auto") == ("auto", "auto", "auto")
+        assert split_kernel("loop") == ("loop", "loop", "loop")
+        assert split_kernel("array") == ("array", "auto", "array")
+        assert split_kernel("vectorized") == ("auto", "vectorized", "auto")
         with pytest.raises(ParameterError):
             split_kernel("simd")
 

@@ -1,0 +1,96 @@
+"""Structural property checks for hierarchy trees on golden datasets.
+
+These invariants come straight from the nucleus-hierarchy definition
+(DESIGN.md Section 1): levels decrease upward, the leaves partition the
+r-clique set, and cutting the tree at any level reproduces exactly the
+connected components of that level graph. They run against full
+decompositions of the golden dataset instances -- through the default
+(array) and scalar tree kernels -- so a kernel that produces a *valid
+looking* but wrong tree cannot hide behind the differential suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive_hierarchy import level_graph_components
+from repro.core.api import nucleus_decomposition
+from repro.core.nucleus import prepare
+from repro.core.tree import NO_PARENT
+from repro.graphs.datasets import load_dataset
+
+from test_golden import GOLDEN_CASES
+
+#: Tree kernels to validate (auto routes through the array kernel on the
+#: CSR strategy used below; loop is the scalar reference).
+TREE_KERNELS = ("auto", "loop")
+
+
+@pytest.fixture(scope="module", params=GOLDEN_CASES,
+                ids=lambda case: f"{case[0]}-r{case[2]}s{case[3]}")
+def golden_case(request):
+    """(graph, r, s, incidence, {kernel: decomposition}) per golden case."""
+    name, scale, r, s = request.param
+    graph = load_dataset(name, scale=scale)
+    prep = prepare(graph, r, s, strategy="csr")
+    results = {kern: nucleus_decomposition(graph, r, s, strategy="csr",
+                                           method="anh-te", kernel=kern)
+               for kern in TREE_KERNELS}
+    return graph, r, s, prep.incidence, results
+
+
+class TestTreeInvariants:
+    @pytest.mark.parametrize("kern", TREE_KERNELS)
+    def test_levels_decrease_upward(self, golden_case, kern):
+        tree = golden_case[4][kern].tree
+        for node, par in enumerate(tree.parent):
+            if par == NO_PARENT:
+                continue
+            if tree.is_leaf(node):
+                assert tree.level[par] <= tree.level[node], (node, par)
+            else:
+                assert tree.level[par] < tree.level[node], (node, par)
+
+    @pytest.mark.parametrize("kern", TREE_KERNELS)
+    def test_leaves_partition_r_cliques(self, golden_case, kern):
+        result = golden_case[4][kern]
+        tree = result.tree
+        assert tree.n_leaves == result.n_r
+        collected = sorted(leaf for root in tree.roots()
+                           for leaf in tree.leaves_under(root))
+        assert collected == list(range(tree.n_leaves))
+
+    @pytest.mark.parametrize("kern", TREE_KERNELS)
+    def test_internal_nodes_have_children_and_leaf_reps(self, golden_case,
+                                                        kern):
+        tree = golden_case[4][kern].tree
+        for node in range(tree.n_leaves, tree.n_nodes):
+            children = tree.children(node)
+            assert children, node
+            assert 0 <= tree.rep[node] < tree.n_leaves
+            # the representative must actually live under the node
+            assert tree.rep[node] in tree.leaves_under(node)
+
+    @pytest.mark.parametrize("kern", TREE_KERNELS)
+    def test_nuclei_match_level_graph_components(self, golden_case, kern):
+        """Cutting the tree at c == connectivity over the level-c graph."""
+        graph, r, s, incidence, results = golden_case
+        result = results[kern]
+        tree = result.tree
+        core = result.core
+        for c in tree.distinct_levels():
+            expected = sorted(
+                sorted(group)
+                for group in level_graph_components(incidence, core, c)
+                if len(group) >= 1)
+            got = sorted(sorted(group) for group in tree.nuclei_at(c))
+            assert got == expected, (graph.name, r, s, kern, c)
+
+    def test_kernels_agree_exactly(self, golden_case):
+        results = golden_case[4]
+        ref = results["loop"].tree
+        for kern, result in results.items():
+            tree = result.tree
+            assert tree.parent == ref.parent, kern
+            assert tree.level == ref.level, kern
+            assert tree.rep == ref.rep, kern
